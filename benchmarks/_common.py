@@ -1,0 +1,39 @@
+"""Shared plumbing for the experiment benchmarks.
+
+Each ``bench_eN_*.py`` regenerates one table/figure of the evaluation
+defined in DESIGN.md §3: it runs the sweep once (wrapped in
+``benchmark.pedantic`` for a wall-clock row), prints the rendered
+table, writes it to ``benchmarks/results/``, and asserts the expected
+qualitative shape.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Generator
+
+from repro.core import World
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def run_process(world: World, generator: Generator):
+    """Run a generator as a kernel process to completion."""
+    process = world.env.process(generator)
+    return world.run(until=process)
+
+
+def write_result(name: str, text: str) -> str:
+    """Persist a rendered table under benchmarks/results/ and echo it."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print()
+    print(text)
+    return path
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

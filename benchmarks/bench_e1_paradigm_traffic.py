@@ -1,0 +1,197 @@
+"""E1 / Table 1 — Paradigm traffic model.
+
+A GPRS device runs a task of ``n`` request/reply interactions against a
+fixed server under each paradigm, end to end through the middleware:
+
+* CS  — ``n`` remote calls;
+* REV — ship the task's code once, run all ``n`` rounds remotely;
+* COD — download the code once, run all ``n`` rounds locally;
+* MA  — an agent carries the task to the server and back.
+
+Reported: the device's wireless bytes and the task completion time.
+Expected shape: CS cheapest for small ``n``; REV/COD flat in ``n`` with
+a crossover; MA pays state carriage both ways.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import crossover, render_table
+from repro.core import Agent, World, mutual_trust, standard_host
+from repro.lmu import CodeRepository, code_unit
+from repro.net import GPRS, LAN, Position
+
+from _common import once, run_process, write_result
+
+INTERACTIONS = [1, 2, 5, 10, 20, 50]
+REQUEST_BYTES = 200
+REPLY_BYTES = 2_000
+CODE_BYTES = 40_000
+WORK_PER_ROUND = 20_000
+
+
+def build_world(seed=101):
+    world = World(seed=seed)
+    world.transport._rng.random = lambda: 0.999  # deterministic traffic
+    device = standard_host(
+        world, "device", Position(0, 0), [GPRS], cpu_speed=0.2
+    )
+    server = standard_host(
+        world, "server", Position(0, 0), [LAN], fixed=True, cpu_speed=2.0
+    )
+    mutual_trust(device, server)
+    device.node.interface("gprs").attach()
+    server.register_service(
+        "step",
+        lambda args, host: ({"round": args}, REPLY_BYTES),
+        work_units=WORK_PER_ROUND,
+    )
+    return world, device, server
+
+
+def task_unit(rounds):
+    """The task as a transferable unit: runs ``rounds`` interactions
+    against whatever 'step' implementation is local."""
+
+    def factory():
+        def body(ctx, *args):
+            for _ in range(rounds):
+                ctx.charge(WORK_PER_ROUND)
+            return {"rounds": rounds, "summary": "x" * 64}
+
+        return body
+
+    return code_unit("task", "1.0.0", factory, CODE_BYTES)
+
+
+def run_cs(rounds):
+    world, device, server = build_world()
+
+    def go():
+        for round_number in range(rounds):
+            yield from device.component("cs").call(
+                "server", "step", round_number, request_size=REQUEST_BYTES
+            )
+
+    run_process(world, go())
+    return device.node.costs.wireless_bytes(), world.now
+
+
+def run_rev(rounds):
+    world, device, server = build_world()
+    device.codebase.install(task_unit(rounds))
+
+    def go():
+        yield from device.component("rev").evaluate("server", ["task"])
+
+    run_process(world, go())
+    return device.node.costs.wireless_bytes(), world.now
+
+
+def run_cod(rounds):
+    world, device, server = build_world()
+    server.repository = CodeRepository()
+    server.repository.publish(task_unit(rounds))
+
+    def go():
+        yield from device.component("cod").fetch("server", ["task"])
+        unit = device.codebase.touch("task")
+        context = device.execution_context(principal=device.id)
+        outcome = device.sandbox.run(unit.instantiate(), context)
+        yield from device.execute(outcome.work_used)
+
+    run_process(world, go())
+    return device.node.costs.wireless_bytes(), world.now
+
+
+class TaskAgent(Agent):
+    code_size = CODE_BYTES
+
+    def on_arrival(self, context):
+        if "done" not in self.state:
+            if context.host_id != "server":
+                yield from context.migrate("server")
+            for round_number in range(int(self.state["rounds"])):
+                yield from context.invoke_local("step", round_number)
+            self.state["done"] = True
+            self.state["summary"] = "x" * 64
+        if context.host_id != self.state["home"]:
+            yield from context.migrate(str(self.state["home"]))
+
+
+def run_ma(rounds):
+    world, device, server = build_world()
+    runtime = device.component("agents")
+    agent_id = runtime.launch(TaskAgent(), rounds=rounds)
+
+    def go():
+        final = yield runtime.completion(agent_id)
+        return final
+
+    final = run_process(world, go())
+    assert final["outcome"] == "completed"
+    return device.node.costs.wireless_bytes(), world.now
+
+
+def run_experiment():
+    rows = []
+    series = {"cs": [], "rev": [], "cod": [], "ma": []}
+    for rounds in INTERACTIONS:
+        cs_bytes, cs_time = run_cs(rounds)
+        rev_bytes, rev_time = run_rev(rounds)
+        cod_bytes, cod_time = run_cod(rounds)
+        ma_bytes, ma_time = run_ma(rounds)
+        series["cs"].append((rounds, cs_bytes))
+        series["rev"].append((rounds, rev_bytes))
+        series["cod"].append((rounds, cod_bytes))
+        series["ma"].append((rounds, ma_bytes))
+        rows.append(
+            [
+                rounds,
+                cs_bytes,
+                rev_bytes,
+                cod_bytes,
+                ma_bytes,
+                cs_time,
+                rev_time,
+                cod_time,
+                ma_time,
+            ]
+        )
+    return rows, series
+
+
+def test_e1_paradigm_traffic(benchmark):
+    rows, series = once(benchmark, run_experiment)
+    table = render_table(
+        "E1 / Table 1 — device wireless bytes and completion time vs interactions n",
+        [
+            "n",
+            "CS B",
+            "REV B",
+            "COD B",
+            "MA B",
+            "CS s",
+            "REV s",
+            "COD s",
+            "MA s",
+        ],
+        rows,
+        note="GPRS device <-> LAN server; request 200B, reply 2000B, code 40kB",
+    )
+    write_result("e1_paradigm_traffic", table)
+
+    # Shape: CS wins on bytes at n=1 ...
+    first = rows[0]
+    assert first[1] == min(first[1:5]), "CS should be cheapest at n=1"
+    # ... but loses to both REV and COD by n=50.
+    last = rows[-1]
+    assert last[2] < last[1] and last[3] < last[1]
+    # REV/COD traffic is ~flat in n; CS grows linearly.
+    assert series["cs"][-1][1] > 10 * series["cs"][0][1]
+    assert series["rev"][-1][1] < 2 * series["rev"][0][1]
+    # Crossovers exist.
+    assert crossover(series["cs"], series["rev"]) is not None
+    assert crossover(series["cs"], series["cod"]) is not None
+    # MA pays the code+state both ways: more bytes than REV at any n.
+    for (n, ma_b), (_n, rev_b) in zip(series["ma"], series["rev"]):
+        assert ma_b >= rev_b

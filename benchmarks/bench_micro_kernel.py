@@ -1,0 +1,125 @@
+"""Microbenchmarks — raw throughput of the substrate layers.
+
+Unlike E1–E10 (simulated-time experiments), these measure *wall-clock*
+performance of the implementation itself: kernel event throughput,
+transport message rate, CS round trips, and agent migrations per real
+second.  They exist so a regression in the simulator's own speed is
+caught, and to document the scale the harness supports (the laptop-
+scale claim of the reproduction).
+"""
+
+from __future__ import annotations
+
+from repro.core import Agent, World, mutual_trust, standard_host
+from repro.net import Message, Position, WIFI_ADHOC
+from repro.sim import Environment
+
+
+def test_kernel_event_throughput(benchmark):
+    """Schedule-and-run 10k timeout events."""
+
+    def run_events():
+        env = Environment()
+
+        def ticker(env):
+            for _ in range(10_000):
+                yield env.timeout(1.0)
+
+        env.process(ticker(env))
+        env.run()
+        return env.now
+
+    result = benchmark(run_events)
+    assert result == 10_000.0
+
+
+def test_kernel_process_churn(benchmark):
+    """Spawn 2k short-lived processes."""
+
+    def run_processes():
+        env = Environment()
+
+        def worker(env, n):
+            yield env.timeout(float(n % 7) + 0.1)
+            return n
+
+        for n in range(2_000):
+            env.process(worker(env, n))
+        env.run()
+        return True
+
+    assert benchmark(run_processes)
+
+
+def _message_world():
+    world = World(seed=1)
+    world.transport._rng.random = lambda: 0.999
+    a = standard_host(world, "a", Position(0, 0), [WIFI_ADHOC])
+    b = standard_host(world, "b", Position(10, 0), [WIFI_ADHOC])
+    mutual_trust(a, b)
+    return world, a, b
+
+
+def test_transport_message_rate(benchmark):
+    """Push 500 small messages through the transport end to end."""
+
+    def run_messages():
+        world, a, b = _message_world()
+
+        def go():
+            for index in range(500):
+                yield world.transport.send(
+                    Message("a", "b", "tick", size_bytes=64)
+                )
+
+        process = world.env.process(go())
+        world.run(until=process)
+        return world.metrics.counter("net.messages_delivered").value
+
+    delivered = benchmark(run_messages)
+    assert delivered == 500
+
+
+def test_cs_roundtrip_rate(benchmark):
+    """200 full CS request/reply cycles through the middleware."""
+
+    def run_calls():
+        world, a, b = _message_world()
+        b.register_service("echo", lambda args, host: (args, 32))
+
+        def go():
+            for index in range(200):
+                yield from a.component("cs").call("b", "echo", index)
+
+        process = world.env.process(go())
+        world.run(until=process)
+        return world.metrics.counter("cs.served").value
+
+    assert benchmark(run_calls) == 200
+
+
+class _PingPong(Agent):
+    code_size = 2_000
+
+    def on_arrival(self, context):
+        bounces = int(self.state.get("bounces", 0))
+        if bounces <= 0:
+            yield from context.sleep(0)
+            return
+        self.state["bounces"] = bounces - 1
+        target = "b" if context.host_id == "a" else "a"
+        yield from context.migrate(target)
+
+
+def test_agent_migration_rate(benchmark):
+    """An agent bouncing 50 times between two hosts (signed transfers)."""
+
+    def run_agent():
+        world, a, b = _message_world()
+        runtime = a.component("agents")
+        agent_id = runtime.launch(_PingPong(), bounces=50)
+        world.run(until=600.0)
+        return world.metrics.counter("agents.migrations").value
+
+    migrations = benchmark(run_agent)
+    assert migrations == 50

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Scenario: adaptive computation offloading as the network changes.
+
+A slow handheld crunches tasks of varying sizes while walking between a
+Wi-Fi hotspot (fast, free) and GPRS-only coverage (slow, metered).  The
+adaptive offloader re-assesses per task: big jobs offload when the link
+is good; small jobs — and everything when connectivity is poor — run
+locally.
+
+Run: ``python examples/adaptive_offload.py``
+"""
+
+from repro import World, mutual_trust, standard_host
+from repro.apps import AdaptiveOffloader
+from repro.net import GPRS, LAN, Position, WIFI_ADHOC
+
+TASKS = [
+    ("mail-filter", 200_000),
+    ("photo-resize", 5_000_000),
+    ("route-plan", 30_000_000),
+    ("spell-check", 100_000),
+    ("video-index", 60_000_000),
+]
+
+
+def main():
+    world = World(seed=51)
+    handheld = standard_host(
+        world, "handheld", Position(0, 0), [WIFI_ADHOC, GPRS], cpu_speed=0.1
+    )
+    server = standard_host(
+        world,
+        "server",
+        Position(20, 0),
+        [WIFI_ADHOC, LAN],
+        fixed=True,
+        cpu_speed=4.0,
+    )
+    mutual_trust(handheld, server)
+    handheld.node.interface("gprs").attach()
+    offloader = AdaptiveOffloader(handheld, "server")
+
+    def workday():
+        for round_number in range(2):
+            in_hotspot = round_number == 0
+            place = "hotspot" if in_hotspot else "GPRS-only coverage"
+            handheld.node.move_to(
+                Position(30, 0) if in_hotspot else Position(5000, 0)
+            )
+            print(f"\n-- {place} --")
+            for name, work in TASKS:
+                report = yield from offloader.run(work, input_bytes=2_000)
+                print(
+                    f"  {name:<12} {work/1e6:6.1f}M units -> "
+                    f"{report.where:<8} ({report.elapsed_s:8.2f}s)"
+                )
+
+    process = world.env.process(workday())
+    world.run(until=process)
+    print(f"\ndecisions: {offloader.decisions}")
+    print(f"tariff paid: {handheld.node.costs.money:.3f}")
+
+
+if __name__ == "__main__":
+    main()

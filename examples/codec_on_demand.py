@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Scenario: a storage-starved PDA plays ten audio formats via COD.
+
+The device's quota holds only a few codecs at a time; COD fetches each
+codec when first needed and the LRU policy silently evicts cold ones.
+Contrast: preinstalling the whole catalogue simply does not fit.
+
+Run: ``python examples/codec_on_demand.py``
+"""
+
+from repro import World, mutual_trust, standard_host
+from repro.apps import (
+    CODEC_CATALOGUE,
+    MediaPlayer,
+    build_codec_repository,
+    preinstall_all_codecs,
+)
+from repro.errors import QuotaExceeded
+from repro.net import GPRS, LAN, Position
+from repro.workloads import zipf_indices
+
+QUOTA = 450_000  # bytes: DSP library + roughly two codecs
+
+
+def main():
+    world = World(seed=17)
+    repository = build_codec_repository()
+    pda = standard_host(
+        world, "pda", Position(0, 0), [GPRS], cpu_speed=0.2, quota_bytes=QUOTA
+    )
+    store = standard_host(
+        world, "store", Position(0, 0), [LAN], fixed=True, repository=repository
+    )
+    mutual_trust(pda, store)
+    pda.node.interface("gprs").attach()
+
+    print(f"catalogue: {repository.total_bytes():,}B; device quota: {QUOTA:,}B")
+    # A static install has no eviction to lean on: it simply does not fit.
+    eviction = pda.codebase.eviction
+    pda.codebase.eviction = None
+    try:
+        preinstall_all_codecs(pda, repository)
+    except QuotaExceeded as error:
+        print(f"preinstall-everything fails: {error}\n")
+    pda.codebase.eviction = eviction
+    # Clean up whatever partially installed.
+    for name in list(pda.codebase.inventory()):
+        pda.codebase.uninstall(name)
+
+    player = MediaPlayer(pda, "store")
+    formats = sorted(CODEC_CATALOGUE)
+    rng = world.streams.stream("playlist")
+    playlist = [formats[i] for i in zipf_indices(rng, len(formats), 25)]
+
+    def listen():
+        for track_number, format_name in enumerate(playlist):
+            record = yield from player.play(format_name, f"track-{track_number}")
+            marker = "downloaded" if record.outcome == "miss" else "cached   "
+            print(
+                f"t={world.now:8.2f}s  {format_name:>6}  {marker}  "
+                f"({record.time_to_play_s:6.2f}s to play, "
+                f"storage {record.storage_used_after:,}B)"
+            )
+
+    process = world.env.process(listen())
+    world.run(until=process)
+
+    print(
+        f"\nplayed {len(player.history)} tracks across "
+        f"{len(set(playlist))} formats on a {QUOTA:,}B quota"
+    )
+    print(
+        f"miss rate {player.miss_rate:.0%}, "
+        f"evictions {pda.codebase.evictions}, "
+        f"wireless bytes {pda.node.costs.wireless_bytes():,}, "
+        f"tariff paid {pda.node.costs.money:.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Design-time paradigm assessment for three application archetypes.
+
+The paper closes by proposing a design methodology for choosing a
+mobile-code paradigm per context.  This example runs that assessment
+programmatically for three archetypal tasks and prints the decision
+tables a designer would consult.
+
+Run: ``python examples/design_assessment.py``
+"""
+
+from repro.core import CostWeights, TaskProfile, assess
+
+ARCHETYPES = {
+    "news ticker (one small lookup, repeated rarely)": TaskProfile(
+        interactions=1,
+        request_bytes=128,
+        reply_bytes=1_024,
+        code_bytes=30_000,
+        result_bytes=256,
+        work_units=2_000,
+        expected_reuses=1,
+    ),
+    "photo pipeline (chatty bulk processing)": TaskProfile(
+        interactions=120,
+        request_bytes=512,
+        reply_bytes=8_192,
+        code_bytes=25_000,
+        result_bytes=1_024,
+        work_units=40_000,
+        expected_reuses=1,
+    ),
+    "dictionary (capability used daily for months)": TaskProfile(
+        interactions=3,
+        request_bytes=64,
+        reply_bytes=512,
+        code_bytes=150_000,
+        result_bytes=128,
+        work_units=1_000,
+        expected_reuses=300,
+    ),
+}
+
+
+def main():
+    for title, profile in ARCHETYPES.items():
+        report = assess(profile)
+        print(f"\n### {title}\n")
+        print(report.render())
+        unanimous = report.unanimous()
+        if unanimous:
+            print(f"-> {unanimous.upper()} wins in every context.")
+        else:
+            winners = report.winner_by_context()
+            print("-> context-dependent:", ", ".join(
+                f"{context}: {paradigm}" for context, paradigm in winners.items()
+            ))
+
+    print("\n### same dictionary task, but the user is broke (money-only)\n")
+    cheap = assess(
+        ARCHETYPES["dictionary (capability used daily for months)"],
+        weights=CostWeights(time=0.0, money=1.0),
+    )
+    print(cheap.render())
+
+
+if __name__ == "__main__":
+    main()

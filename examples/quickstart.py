@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Quickstart: two devices, all four mobility paradigms in one sitting.
+
+Builds a GPRS phone and a fixed server, then exercises:
+
+1. CS  — a plain remote call;
+2. COD — downloading a codec on demand and playing locally;
+3. REV — shipping a computation to the fast server;
+4. MA  — sending an agent to run an errand and come home.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import World, mutual_trust, standard_host
+from repro.lmu import CodeRepository, code_unit
+from repro.net import GPRS, LAN, Position
+
+
+def build_world():
+    world = World(seed=7)
+
+    repository = CodeRepository()
+
+    def codec_factory():
+        def decode(ctx, track):
+            ctx.charge(5_000)
+            return f"playing {track} (ogg)"
+
+        return decode
+
+    repository.publish(
+        code_unit("codec-ogg", "1.0.0", codec_factory, 150_000)
+    )
+
+    phone = standard_host(
+        world, "phone", Position(0, 0), [GPRS], cpu_speed=0.2
+    )
+    server = standard_host(
+        world,
+        "server",
+        Position(0, 0),
+        [LAN],
+        fixed=True,
+        cpu_speed=2.0,
+        repository=repository,
+    )
+    mutual_trust(phone, server)
+    phone.node.interface("gprs").attach()
+
+    server.register_service(
+        "weather", lambda args, host: (f"sunny in {args}", 96)
+    )
+    return world, phone, server
+
+
+def crunch_factory():
+    def crunch(ctx, n):
+        ctx.charge(float(n))
+        return f"crunched {n} units"
+
+    return crunch
+
+
+class ErrandAgent:
+    """Declared here to show how little an agent needs."""
+
+
+def main():
+    world, phone, server = build_world()
+
+    from repro import Agent
+
+    class Errand(Agent):
+        # Mobility is weak: on_arrival restarts at every host, so the
+        # agent tracks its progress in state.
+        def on_arrival(self, context):
+            if "answer" not in self.state:
+                if context.host_id != "server":
+                    yield from context.migrate("server")
+                answer = yield from context.invoke_local("weather", "london")
+                self.state["answer"] = answer
+            if context.host_id != self.state["home"]:
+                yield from context.migrate(str(self.state["home"]))
+
+    def app():
+        # 1. Client/Server
+        weather = yield from phone.component("cs").call(
+            "server", "weather", "london"
+        )
+        print(f"[CS ] t={world.now:7.2f}s  {weather}")
+
+        # 2. Code On Demand
+        yield from phone.component("cod").ensure(["codec-ogg"], "server")
+        codec = phone.codebase.touch("codec-ogg")
+        context = phone.execution_context(principal="phone")
+        outcome = phone.sandbox.run(codec.instantiate(), context, "anthem.ogg")
+        yield from phone.execute(outcome.work_used)
+        print(f"[COD] t={world.now:7.2f}s  {outcome.value}")
+
+        # 3. Remote EValuation
+        phone.codebase.install(
+            code_unit("crunch", "1.0.0", crunch_factory, 30_000)
+        )
+        result = yield from phone.component("rev").evaluate(
+            "server", ["crunch"], args=(5_000_000,)
+        )
+        print(f"[REV] t={world.now:7.2f}s  {result}")
+
+        # 4. Mobile Agent
+        runtime = phone.component("agents")
+        agent_id = runtime.launch(Errand())
+        final = yield runtime.completion(agent_id)
+        print(
+            f"[MA ] t={world.now:7.2f}s  agent {final['outcome']}: "
+            f"{final['answer']} (hops={final['hops']})"
+        )
+
+    process = world.env.process(app())
+    world.run(until=process)
+
+    costs = phone.node.costs
+    print(
+        f"\nphone paid {costs.money:.3f} units for "
+        f"{costs.wireless_bytes():,} wireless bytes"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Scenario: m-commerce on a metered link — agent vs interactive browsing.
+
+A GPRS handset wants the best price on a camera across five web shops.
+Interactive browsing pays the per-megabyte tariff for every catalogue
+page; the shopping agent crosses the wireless link twice and does the
+legwork on the fixed network.
+
+Run: ``python examples/shopping_agent.py``
+"""
+
+from repro import World, mutual_trust, standard_host
+from repro.apps import make_vendor, shop_interactively, shop_with_agent
+from repro.net import GPRS, LAN, Position
+
+VENDORS = 5
+
+
+def build(seed):
+    world = World(seed=seed)
+    handset = standard_host(
+        world, "handset", Position(0, 0), [GPRS], cpu_speed=0.2
+    )
+    handset.node.interface("gprs").attach()
+    vendors = []
+    for index in range(VENDORS):
+        vendor = standard_host(
+            world, f"shop{index}", Position(0, 0), [LAN], fixed=True
+        )
+        make_vendor(vendor, {"camera": 450.0 - 17.0 * index})
+        vendors.append(vendor)
+    mutual_trust(handset, *vendors)
+    return world, handset, [v.id for v in vendors]
+
+
+def main():
+    # --- interactive browsing -------------------------------------------------
+    world, handset, vendor_ids = build(seed=41)
+
+    def browse():
+        report = yield from shop_interactively(
+            handset, "camera", vendor_ids, think_time_s=3.0
+        )
+        return report
+
+    process = world.env.process(browse())
+    report = world.run(until=process)
+    browse_time = world.now
+    browse_costs = handset.node.costs
+    print("interactive browsing:")
+    print(f"  best offer     : {report.best}")
+    print(f"  session time   : {browse_time:,.1f}s")
+    print(f"  wireless bytes : {browse_costs.wireless_bytes():,}")
+    print(f"  tariff paid    : {browse_costs.money:.3f}")
+
+    # --- shopping agent ----------------------------------------------------------
+    world, handset, vendor_ids = build(seed=41)
+
+    def agent_shop():
+        final = yield from shop_with_agent(handset, "camera", vendor_ids)
+        return final
+
+    process = world.env.process(agent_shop())
+    final = world.run(until=process)
+    agent_time = world.now
+    agent_costs = handset.node.costs
+    print("\nshopping agent:")
+    print(f"  best offer     : {final['best']}")
+    print(f"  receipt        : {final['receipt']}")
+    print(f"  session time   : {agent_time:,.1f}s")
+    print(f"  wireless bytes : {agent_costs.wireless_bytes():,}")
+    print(f"  tariff paid    : {agent_costs.money:.3f}")
+
+    if agent_costs.money > 0:
+        print(
+            f"\nagent is {browse_costs.money / agent_costs.money:.1f}x cheaper "
+            f"and uses {browse_costs.wireless_bytes() / max(1, agent_costs.wireless_bytes()):.1f}x "
+            "fewer wireless bytes"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Package metadata.
+
+Plain setup.py (no pyproject.toml) so ``pip install -e .`` takes the
+legacy editable path and works offline — PEP 517 builds would try to
+fetch build dependencies from an index this environment may not have.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Logical-mobility middleware for mobile computing (reproduction of "
+        "Zachariadis, Mascolo & Emmerich, ICDCS 2002 Workshops)"
+    ),
+    long_description=open("README.md").read(),
+    long_description_content_type="text/markdown",
+    license="MIT",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=[],
+    extras_require={
+        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+        "analysis": ["numpy", "networkx"],
+    },
+    classifiers=[
+        "Development Status :: 5 - Production/Stable",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: System :: Distributed Computing",
+    ],
+    keywords=(
+        "mobile-code middleware mobile-agents code-on-demand "
+        "remote-evaluation discrete-event-simulation"
+    ),
+)

@@ -1,0 +1,109 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+* ``info``    — version, subsystems, and experiment inventory;
+* ``demo``    — run the quickstart scenario inline (all four paradigms);
+* ``assess``  — print a design-time paradigm assessment for a task
+  described by flags.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_info(_args: argparse.Namespace) -> int:
+    import repro
+    from repro.core.assessment import STANDARD_CONTEXTS
+
+    print(f"repro {repro.__version__} — logical-mobility middleware")
+    print("reproduction of Zachariadis, Mascolo & Emmerich, ICDCSW'02\n")
+    print("subsystems: sim, net, lmu, security, core, tuplespace, apps,")
+    print("            workloads, analysis")
+    print("paradigms : cs, rev, cod, agents (+ discovery, lookup, update)")
+    print(
+        "contexts  : "
+        + ", ".join(name for name, _link in STANDARD_CONTEXTS)
+    )
+    print("experiments: E1-E10 + ablations A1-A4 (see DESIGN.md §3)")
+    return 0
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    import os
+    import runpy
+
+    path = os.path.join(
+        os.path.dirname(__file__), os.pardir, os.pardir, "examples",
+        "quickstart.py",
+    )
+    if not os.path.exists(path):
+        print("examples/quickstart.py not found (installed without examples)")
+        return 1
+    runpy.run_path(path, run_name="__main__")
+    return 0
+
+
+def _cmd_assess(args: argparse.Namespace) -> int:
+    from repro.core import CostWeights, TaskProfile, assess
+
+    profile = TaskProfile(
+        interactions=args.interactions,
+        request_bytes=args.request_bytes,
+        reply_bytes=args.reply_bytes,
+        code_bytes=args.code_bytes,
+        result_bytes=args.result_bytes,
+        work_units=args.work_units,
+        expected_reuses=args.reuses,
+    )
+    weights = CostWeights(time=args.time_weight, money=args.money_weight)
+    report = assess(profile, weights=weights)
+    print(report.render())
+    unanimous = report.unanimous()
+    if unanimous:
+        print(f"-> {unanimous.upper()} wins in every context")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    info = subparsers.add_parser("info", help="version and inventory")
+    info.set_defaults(handler=_cmd_info)
+
+    demo = subparsers.add_parser("demo", help="run the quickstart scenario")
+    demo.set_defaults(handler=_cmd_demo)
+
+    assess_cmd = subparsers.add_parser(
+        "assess", help="design-time paradigm assessment"
+    )
+    assess_cmd.add_argument("--interactions", type=int, default=10)
+    assess_cmd.add_argument("--request-bytes", type=int, default=200)
+    assess_cmd.add_argument("--reply-bytes", type=int, default=2000)
+    assess_cmd.add_argument("--code-bytes", type=int, default=40_000)
+    assess_cmd.add_argument("--result-bytes", type=int, default=500)
+    assess_cmd.add_argument("--work-units", type=float, default=20_000)
+    assess_cmd.add_argument("--reuses", type=int, default=1)
+    assess_cmd.add_argument("--time-weight", type=float, default=1.0)
+    assess_cmd.add_argument("--money-weight", type=float, default=1.0)
+    assess_cmd.set_defaults(handler=_cmd_assess)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not getattr(args, "handler", None):
+        parser.print_help()
+        return 2
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

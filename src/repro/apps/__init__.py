@@ -1,0 +1,83 @@
+"""Scenario applications from the paper's motivation section.
+
+One module per motivating example:
+
+* :mod:`media`    — limited resources & dynamic update (codec COD);
+* :mod:`lbs`      — location-based reconfigurability & services;
+* :mod:`disaster` — communication in disaster scenarios (agents);
+* :mod:`shopping` — shopping & limiting connectivity costs (agents);
+* :mod:`offload`  — distributing computations (REV).
+"""
+
+from .disaster import (
+    CsMessengerReport,
+    DeliveryLog,
+    MessengerAgent,
+    SprayMessengerAgent,
+    send_via_agent,
+    send_via_cs,
+    send_via_spray,
+)
+from .lbs import LocationAwareBrowser, VenueEncounter, make_venue
+from .media import (
+    CODEC_CATALOGUE,
+    MediaPlayer,
+    PlaybackRecord,
+    build_codec_repository,
+    codec_unit_name,
+    preinstall_all_codecs,
+)
+from .offload import (
+    AdaptiveOffloader,
+    CRUNCH_CODE_BYTES,
+    OffloadReport,
+    crunch_unit,
+    run_local,
+    run_offloaded,
+)
+from .sms import SmsAgent, SmsInbox, SmsReceipt, send_sms
+from .shopping import (
+    BrowsingReport,
+    PAGE_BYTES,
+    PAGES_PER_VENDOR,
+    ShoppingAgent,
+    make_vendor,
+    shop_interactively,
+    shop_with_agent,
+)
+
+__all__ = [
+    "AdaptiveOffloader",
+    "BrowsingReport",
+    "CODEC_CATALOGUE",
+    "CRUNCH_CODE_BYTES",
+    "CsMessengerReport",
+    "DeliveryLog",
+    "LocationAwareBrowser",
+    "MediaPlayer",
+    "MessengerAgent",
+    "OffloadReport",
+    "PAGES_PER_VENDOR",
+    "PAGE_BYTES",
+    "PlaybackRecord",
+    "ShoppingAgent",
+    "SmsAgent",
+    "SmsInbox",
+    "SmsReceipt",
+    "SprayMessengerAgent",
+    "VenueEncounter",
+    "build_codec_repository",
+    "codec_unit_name",
+    "crunch_unit",
+    "make_vendor",
+    "make_venue",
+    "preinstall_all_codecs",
+    "run_local",
+    "run_offloaded",
+    "send_sms",
+    "send_via_agent",
+    "send_via_cs",
+    "send_via_spray",
+    "shop_interactively",
+    "shop_with_agent",
+]

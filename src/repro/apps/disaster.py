@@ -1,0 +1,252 @@
+"""Scenario: communication in disaster scenarios.
+
+"The message can be encapsulated in a mobile agent which migrates from
+host to host, until it reaches the required destination."  With the
+infrastructure gone, end-to-end paths rarely exist; the
+:class:`MessengerAgent` does store-carry-forward: it rides its current
+host, opportunistically hopping to newly met neighbours (preferring the
+destination itself), until it arrives and delivers — or its TTL runs
+out.  The CS baseline just keeps trying to send directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List
+
+from ..errors import MigrationError, TransportTimeout, Unreachable
+from ..net import Message
+from ..core.agents import Agent, AgentContext
+from ..core.host import MobileHost
+
+
+class MessengerAgent(Agent):
+    """Epidemic store-carry-forward message delivery.
+
+    State:
+
+    * ``destination`` — host id the payload must reach;
+    * ``message`` — the payload to deliver;
+    * ``deadline`` — simulated time after which the agent gives up;
+    * ``beat`` — seconds between neighbourhood checks (default 1.0);
+    * ``visited`` — hosts already ridden (avoid ping-ponging).
+    """
+
+    code_size = 6_000
+
+    def on_arrival(self, context: AgentContext) -> Generator:
+        state = self.state
+        destination = str(state["destination"])
+        state.setdefault("visited", [])
+        beat = float(state.get("beat", 1.0))  # type: ignore[arg-type]
+        if context.host_id not in state["visited"]:  # type: ignore[operator]
+            state["visited"].append(context.host_id)  # type: ignore[union-attr]
+
+        if context.host_id == destination:
+            context.deliver(state["message"])
+            context.log("messenger.delivered", destination=destination)
+            return
+            yield  # pragma: no cover - generator protocol
+
+        rng = context.random()
+        while True:
+            if context.now >= float(state["deadline"]):  # type: ignore[arg-type]
+                context.log("messenger.expired", destination=destination)
+                context.die()
+            neighbors = context.neighbors()
+            # The destination itself beats any relay.
+            if destination in neighbors:
+                try:
+                    yield from context.migrate(destination)
+                except MigrationError:
+                    pass
+            # Prefer hosts never ridden; fall back to any neighbour other
+            # than the one we just came from (a fresh contact may be a
+            # mule walking somewhere useful), with a dwell probability so
+            # the agent does not thrash between two static hosts.
+            fresh = [
+                peer
+                for peer in neighbors
+                if peer not in state["visited"]  # type: ignore[operator]
+            ]
+            previous = state.get("prev")
+            stale = [peer for peer in neighbors if peer != previous]
+            candidates = fresh or (stale if rng.random() < 0.3 else [])
+            if candidates:
+                target = candidates[rng.randrange(len(candidates))]
+                try:
+                    state["prev"] = context.host_id
+                    yield from context.migrate(target)
+                except MigrationError:
+                    state["visited"].append(target)  # type: ignore[union-attr]
+            yield from context.sleep(beat)
+
+
+def send_via_agent(
+    source: MobileHost,
+    destination_id: str,
+    payload: object,
+    ttl: float = 300.0,
+    beat: float = 1.0,
+) -> str:
+    """Launch a messenger agent from ``source``; returns the agent id.
+
+    Arrange reception by subscribing to the destination's agent
+    runtime deliveries (see :meth:`AgentRuntime.on_delivery`).
+    """
+    agent = MessengerAgent()
+    return source.component("agents").launch(
+        agent,
+        destination=destination_id,
+        message=payload,
+        deadline=source.env.now + ttl,
+        beat=beat,
+    )
+
+
+class SprayMessengerAgent(Agent):
+    """Multi-copy (binary spray-and-wait) message delivery.
+
+    The agent carries ``copies`` logical tokens.  While it holds more
+    than one, it *clones* itself to newly met hosts, handing over half
+    its tokens; a single-token agent waits for direct contact with the
+    destination.  More copies mean better delivery odds and latency at
+    the price of more radio traffic — the trade-off the ablation
+    benchmark quantifies.
+
+    Extra state over :class:`MessengerAgent`: ``copies``, ``sprayed``.
+    """
+
+    code_size = 6_500
+
+    def on_arrival(self, context: AgentContext) -> Generator:
+        state = self.state
+        destination = str(state["destination"])
+        beat = float(state.get("beat", 1.0))  # type: ignore[arg-type]
+
+        if context.host_id == destination:
+            context.deliver(state["message"])
+            context.log("spray.delivered", destination=destination)
+            return
+            yield  # pragma: no cover - generator protocol
+
+        rng = context.random()
+        while True:
+            if context.now >= float(state["deadline"]):  # type: ignore[arg-type]
+                context.die()
+            neighbors = context.neighbors()
+            if destination in neighbors:
+                try:
+                    yield from context.migrate(destination)
+                except MigrationError:
+                    pass
+            copies = int(state.get("copies", 1))  # type: ignore[arg-type]
+            if copies > 1:
+                sprayed = state.setdefault("sprayed", [])
+                targets = [
+                    peer
+                    for peer in neighbors
+                    if peer != destination and peer not in sprayed  # type: ignore[operator]
+                ]
+                if targets:
+                    target = targets[rng.randrange(len(targets))]
+                    give = copies // 2
+                    state["copies"] = give
+                    try:
+                        yield from context.clone_to(target)
+                        state["copies"] = copies - give
+                        sprayed.append(target)  # type: ignore[union-attr]
+                    except MigrationError:
+                        state["copies"] = copies
+            yield from context.sleep(beat)
+
+
+def send_via_spray(
+    source: MobileHost,
+    destination_id: str,
+    payload: object,
+    copies: int = 8,
+    ttl: float = 300.0,
+    beat: float = 1.0,
+) -> str:
+    """Launch a spray-and-wait messenger; returns the root agent id."""
+    if copies < 1:
+        raise ValueError("copies must be >= 1")
+    agent = SprayMessengerAgent()
+    return source.component("agents").launch(
+        agent,
+        destination=destination_id,
+        message=payload,
+        deadline=source.env.now + ttl,
+        beat=beat,
+        copies=copies,
+    )
+
+
+@dataclass
+class CsMessengerReport:
+    delivered: bool
+    attempts: int
+    latency_s: float
+
+
+def send_via_cs(
+    source: MobileHost,
+    destination_id: str,
+    payload: object,
+    payload_size: int = 512,
+    ttl: float = 300.0,
+    retry_interval: float = 5.0,
+) -> Generator:
+    """The baseline: keep attempting a direct (single-path) send.
+
+    Succeeds only while an end-to-end path exists at an attempt instant.
+    Returns a :class:`CsMessengerReport`.
+    """
+    started = source.env.now
+    attempts = 0
+    deadline = started + ttl
+    while source.env.now < deadline:
+        attempts += 1
+        message = Message(
+            source=source.id,
+            destination=destination_id,
+            kind="disaster.message",
+            payload=payload,
+            size_bytes=payload_size,
+        )
+        try:
+            yield source.send(message)
+            return CsMessengerReport(
+                delivered=True,
+                attempts=attempts,
+                latency_s=source.env.now - started,
+            )
+        except (Unreachable, TransportTimeout):
+            pass
+        yield source.env.timeout(retry_interval)
+    return CsMessengerReport(
+        delivered=False, attempts=attempts, latency_s=source.env.now - started
+    )
+
+
+class DeliveryLog:
+    """Collects payloads arriving at a destination host (either path)."""
+
+    def __init__(self, host: MobileHost) -> None:
+        self.host = host
+        self.received: List[tuple] = []
+        host.component("agents").on_delivery(self._on_agent_delivery)
+        # The CS baseline's messages arrive as plain middleware messages.
+        host._handlers.setdefault("disaster.message", self._on_cs_message)
+
+    def _on_agent_delivery(self, agent, payload) -> None:
+        self.received.append(("agent", payload, self.host.env.now))
+
+    def _on_cs_message(self, message) -> Generator:
+        self.received.append(("cs", message.payload, self.host.env.now))
+        return
+        yield  # pragma: no cover - generator protocol
+
+    def payloads(self) -> List[object]:
+        return [payload for _via, payload, _at in self.received]

@@ -1,0 +1,151 @@
+"""Scenario: location-based reconfigurability and services.
+
+"A user can be automatically presented with a graphical user interface
+to order movie tickets, upon entering a cinema's premises."  A venue
+host advertises a service whose description names a *proxy unit* (the
+UI/driver); the :class:`LocationAwareBrowser` watches discovery as the
+user moves, COD-fetches the proxy on first contact, and can then invoke
+the service — all without manual installation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+from ..errors import ServiceNotFound
+from ..lmu import CodeRepository, code_unit
+from ..core.host import MobileHost
+from ..core.services import ServiceDescription, service
+
+
+def make_venue(
+    host: MobileHost,
+    venue_name: str,
+    service_type: str = "ticketing",
+    ui_size: int = 40_000,
+    ticket_price: float = 8.5,
+) -> ServiceDescription:
+    """Equip ``host`` as a venue offering a ticketing service.
+
+    Publishes the UI proxy unit in the host's repository, registers the
+    order-taking CS service, and advertises the whole thing over
+    decentralised discovery.
+    """
+    proxy_name = f"ui-{venue_name}"
+
+    def factory():
+        def render(ctx, *args):
+            ctx.charge(2_000)
+            return f"ui:{venue_name}"
+
+        return render
+
+    if host.repository is None:
+        host.repository = CodeRepository(name=f"{host.id}-repo")
+    host.repository.publish(
+        code_unit(
+            proxy_name,
+            "1.0.0",
+            factory,
+            ui_size,
+            description=f"Ticketing UI for {venue_name}",
+        )
+    )
+
+    def order_handler(args, host_, price=ticket_price):
+        seats = int((args or {}).get("seats", 1))
+        return ({"venue": venue_name, "seats": seats, "total": seats * price}, 128)
+
+    host.register_service(f"order:{venue_name}", order_handler, work_units=5_000)
+    description = service(
+        service_type,
+        host.id,
+        venue_name,
+        attributes={"venue": venue_name},
+        proxy_unit=proxy_name,
+    )
+    host.component("discovery").advertise(description)
+    return description
+
+
+@dataclass
+class VenueEncounter:
+    """One venue the browser has prepared for use."""
+
+    description: ServiceDescription
+    discovered_at: float
+    ui_ready_at: float
+
+    @property
+    def setup_time_s(self) -> float:
+        return self.ui_ready_at - self.discovered_at
+
+
+@dataclass
+class LocationAwareBrowser:
+    """The user-side application: discovers venues, fetches their UIs."""
+
+    host: MobileHost
+    service_type: str = "ticketing"
+    encounters: Dict[str, VenueEncounter] = field(default_factory=dict)
+
+    def look_around(self, window: float = 2.0) -> Generator:
+        """One discovery round: find venues in range and prepare each
+        newly seen one (fetch its UI proxy).  Returns new encounters."""
+        discovery = self.host.component("discovery")
+        found = yield from discovery.find(self.service_type, window=window)
+        fresh: List[VenueEncounter] = []
+        for description in found:
+            if description.key in self.encounters:
+                continue
+            discovered_at = self.host.env.now
+            if description.proxy_unit:
+                yield from self.host.component("cod").ensure(
+                    [description.proxy_unit], description.provider
+                )
+            encounter = VenueEncounter(
+                description=description,
+                discovered_at=discovered_at,
+                ui_ready_at=self.host.env.now,
+            )
+            self.encounters[description.key] = encounter
+            fresh.append(encounter)
+        return fresh
+
+    def order_tickets(self, venue_name: str, seats: int = 2) -> Generator:
+        """Order through a prepared venue's UI (generator helper)."""
+        encounter = self._encounter_for(venue_name)
+        provider = encounter.description.provider
+        # Render the downloaded UI locally (the COD payoff), then order.
+        if encounter.description.proxy_unit:
+            unit = self.host.codebase.touch(encounter.description.proxy_unit)
+            context = self.host.execution_context(principal=self.host.id)
+            result = self.host.sandbox.run(unit.instantiate(), context)
+            yield from self.host.execute(result.work_used)
+        receipt = yield from self.host.component("cs").call(
+            provider, f"order:{venue_name}", {"seats": seats}
+        )
+        return receipt
+
+    def _encounter_for(self, venue_name: str) -> VenueEncounter:
+        for encounter in self.encounters.values():
+            if encounter.description.name == venue_name:
+                return encounter
+        raise ServiceNotFound(
+            f"venue {venue_name!r} has not been encountered yet"
+        )
+
+    def wander(
+        self, interval: float = 5.0, rounds: Optional[int] = None
+    ) -> Generator:
+        """Keep looking around every ``interval`` seconds (generator).
+
+        Runs forever unless ``rounds`` bounds it; intended to be spawned
+        as a process alongside a mobility model.
+        """
+        completed = 0
+        while rounds is None or completed < rounds:
+            yield from self.look_around()
+            completed += 1
+            yield self.host.env.timeout(interval)

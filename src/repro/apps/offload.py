@@ -1,0 +1,158 @@
+"""Scenario: distributing computations to more powerful hosts.
+
+"REV techniques can be used to distribute computations to more
+powerful hosts … allowing for faster application execution."  The
+workload is a tunable crunch unit; :func:`run_local` grinds it on the
+device, :func:`run_offloaded` REV-ships it to a fast fixed host.  The
+:class:`AdaptiveOffloader` asks the paradigm selector which to do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from ..lmu import DataUnit, code_unit
+from ..core.adaptation import (
+    CostWeights,
+    PARADIGM_CS,
+    PARADIGM_REV,
+    ParadigmSelector,
+    TaskProfile,
+)
+from ..core.host import MobileHost
+
+#: Modelled code size of the crunch unit shipped by REV.
+CRUNCH_CODE_BYTES = 30_000
+
+
+def crunch_unit(work_units: float, result_bytes: int = 256):
+    """A transferable computation of ``work_units`` cost.
+
+    The unit's behaviour charges its metered work and produces a small
+    summary result (the point of offloading: big compute, small answer).
+    """
+
+    def factory():
+        def body(ctx, payload_size: int = 0):
+            ctx.charge(work_units)
+            return {"summary": "ok", "work": work_units, "input": payload_size}
+
+        return body
+
+    return code_unit(
+        "crunch",
+        "1.0.0",
+        factory,
+        CRUNCH_CODE_BYTES,
+        description="Tunable CPU-bound workload",
+    )
+
+
+@dataclass
+class OffloadReport:
+    where: str  #: "local" or host id
+    elapsed_s: float
+    result: object
+
+
+def run_local(host: MobileHost, work_units: float) -> Generator:
+    """Grind the workload on the device itself (generator helper)."""
+    started = host.env.now
+    unit = crunch_unit(work_units)
+    context = host.execution_context(principal=host.id)
+    outcome = host.sandbox.run(unit.instantiate(), context, 0)
+    yield from host.execute(outcome.work_used)
+    return OffloadReport(
+        where="local", elapsed_s=host.env.now - started, result=outcome.value
+    )
+
+
+def run_offloaded(
+    host: MobileHost,
+    server_id: str,
+    work_units: float,
+    input_bytes: int = 0,
+) -> Generator:
+    """REV-ship the workload (plus ``input_bytes`` of data) to a server."""
+    started = host.env.now
+    unit = crunch_unit(work_units)
+    if "crunch" in host.codebase:
+        host.codebase.uninstall("crunch")
+    host.codebase.install(unit)
+    data = []
+    if input_bytes > 0:
+        data = [DataUnit("input", b"x" * 0, input_bytes)]
+    value = yield from host.component("rev").evaluate(
+        server_id, ["crunch"], args=(input_bytes,), data_units=data
+    )
+    return OffloadReport(
+        where=server_id, elapsed_s=host.env.now - started, result=value
+    )
+
+
+class AdaptiveOffloader:
+    """Chooses local vs offloaded per task using the paradigm selector.
+
+    Local execution is profiled as "COD with the code already here" —
+    i.e. pure local compute — and offloading as REV; the selector's
+    estimates decide, given the current link to the server.
+    """
+
+    def __init__(self, host: MobileHost, server_id: str) -> None:
+        self.host = host
+        self.server_id = server_id
+        self.selector = ParadigmSelector(available=[PARADIGM_CS, PARADIGM_REV])
+        self.decisions = []
+
+    def profile_for(self, work_units: float, input_bytes: int) -> TaskProfile:
+        return TaskProfile(
+            interactions=1,
+            request_bytes=input_bytes,
+            reply_bytes=256,
+            code_bytes=CRUNCH_CODE_BYTES,
+            result_bytes=256,
+            work_units=work_units,
+            local_speed=self.host.node.cpu_speed,
+            remote_speed=self._server_speed(),
+        )
+
+    def _server_speed(self) -> float:
+        network = self.host.world.network
+        if self.server_id in network:
+            return network.node(self.server_id).cpu_speed
+        return 1.0
+
+    def run(
+        self,
+        work_units: float,
+        input_bytes: int = 0,
+        weights: CostWeights = CostWeights(),
+    ) -> Generator:
+        """Run the task wherever the estimate says is cheaper."""
+        link = self.host.world.network.best_link(
+            self.host.node, self.host.world.network.node(self.server_id)
+        )
+        if link is None:
+            self.decisions.append("local")
+            report = yield from run_local(self.host, work_units)
+            return report
+        profile = self.profile_for(work_units, input_bytes)
+        # "Stay local" is modelled directly: no code moves, compute at
+        # local speed.  (The CS estimator assumes remote compute, so it
+        # is not the right stand-in here.)
+        local_time = work_units / 1e6 / max(profile.local_speed, 1e-9)
+        rev_estimate = next(
+            estimate
+            for estimate in self.selector.estimates(profile, link)
+            if estimate.paradigm == PARADIGM_REV
+        )
+        if rev_estimate.time_s < local_time:
+            self.decisions.append("offload")
+            report = yield from run_offloaded(
+                self.host, self.server_id, work_units, input_bytes
+            )
+        else:
+            self.decisions.append("local")
+            report = yield from run_local(self.host, work_units)
+        return report

@@ -1,0 +1,194 @@
+"""Scenario: shopping and limiting connectivity costs.
+
+"Mobile agents could be a solution … encapsulating the description of
+the product the user wishes to buy, finding the best price, and
+performing the actual transaction for the user."  The agent crosses the
+expensive wireless link twice (out and home); vendor-to-vendor hops ride
+the fixed network.  The baseline browses every vendor interactively
+over the wireless link, paying for every page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Sequence
+
+from ..errors import MigrationError
+from ..core.agents import Agent, AgentContext
+from ..core.host import MobileHost
+
+#: Modelled size of one catalogue browsing page, in bytes (2002 WAP-ish).
+PAGE_BYTES = 6_000
+#: Pages a human views per vendor while browsing interactively.
+PAGES_PER_VENDOR = 5
+
+
+def make_vendor(
+    host: MobileHost, prices: Dict[str, float], page_bytes: int = PAGE_BYTES
+) -> None:
+    """Equip a fixed host as a shop: browse/quote/buy services."""
+
+    def browse(args, host_):
+        # One catalogue page; content size dominates.
+        return ({"page": (args or {}).get("page", 1)}, page_bytes)
+
+    def quote(args, host_):
+        product = (args or {}).get("product")
+        price = prices.get(product)
+        return ({"product": product, "price": price, "vendor": host_.id}, 96)
+
+    def buy(args, host_):
+        product = (args or {}).get("product")
+        price = prices.get(product)
+        if price is None:
+            raise ValueError(f"{host_.id} does not stock {product}")
+        return (
+            {"receipt": f"{host_.id}:{product}", "charged": price},
+            128,
+        )
+
+    host.register_service("shop.browse", browse, work_units=2_000)
+    host.register_service("shop.quote", quote, work_units=2_000)
+    host.register_service("shop.buy", buy, work_units=10_000)
+
+
+class ShoppingAgent(Agent):
+    """Visits vendors, finds the best price, buys, and returns home.
+
+    State: ``product``, ``vendors`` (ids to visit), plus bookkeeping
+    (``quotes``, ``best``, ``receipt``, ``phase``).
+    """
+
+    code_size = 12_000
+
+    def on_arrival(self, context: AgentContext) -> Generator:
+        state = self.state
+        state.setdefault("quotes", [])
+        state.setdefault("phase", "collect")
+        state.setdefault("cursor", 0)
+        home = str(state["home"])
+        vendors: List[str] = list(state["vendors"])  # type: ignore[arg-type]
+
+        while True:
+            phase = state["phase"]
+            if phase == "collect":
+                cursor = int(state["cursor"])  # type: ignore[arg-type]
+                if context.host_id in vendors and cursor < len(vendors) and vendors[cursor] == context.host_id:
+                    quote = yield from context.invoke_local(
+                        "shop.quote", {"product": state["product"]}
+                    )
+                    if quote.get("price") is not None:
+                        state["quotes"].append(  # type: ignore[union-attr]
+                            (quote["vendor"], quote["price"])
+                        )
+                    state["cursor"] = cursor + 1
+                    continue
+                if cursor >= len(vendors):
+                    state["phase"] = "buy"
+                    continue
+                target = vendors[cursor]
+                try:
+                    yield from context.migrate(target)
+                except MigrationError:
+                    state["cursor"] = cursor + 1
+                continue
+            if phase == "buy":
+                quotes: List = list(state["quotes"])  # type: ignore[arg-type]
+                if not quotes:
+                    state["phase"] = "home"
+                    continue
+                best_vendor, best_price = min(quotes, key=lambda q: (q[1], q[0]))
+                state["best"] = (best_vendor, best_price)
+                if context.host_id != best_vendor:
+                    try:
+                        yield from context.migrate(best_vendor)
+                    except MigrationError:
+                        state["quotes"] = [
+                            q for q in quotes if q[0] != best_vendor
+                        ]
+                    continue
+                receipt = yield from context.invoke_local(
+                    "shop.buy", {"product": state["product"]}
+                )
+                state["receipt"] = receipt
+                state["phase"] = "home"
+                continue
+            if phase == "home":
+                if context.host_id == home:
+                    return
+                try:
+                    yield from context.migrate(home)
+                except MigrationError:
+                    yield from context.sleep(5.0)
+                continue
+
+
+def shop_with_agent(
+    device: MobileHost, product: str, vendor_ids: Sequence[str]
+) -> Generator:
+    """Dispatch a shopping agent and await its return (generator helper).
+
+    Returns the agent's final state (with ``best`` and ``receipt``).
+    """
+    runtime = device.component("agents")
+    agent = ShoppingAgent()
+    agent_id = runtime.launch(
+        agent, product=product, vendors=list(vendor_ids)
+    )
+    final = yield runtime.completion(agent_id)
+    return final
+
+
+@dataclass
+class BrowsingReport:
+    """What interactive shopping cost."""
+
+    best: Optional[tuple]
+    receipt: Optional[dict]
+    pages_viewed: int
+
+
+def shop_interactively(
+    device: MobileHost,
+    product: str,
+    vendor_ids: Sequence[str],
+    pages_per_vendor: int = PAGES_PER_VENDOR,
+    think_time_s: float = 3.0,
+) -> Generator:
+    """The baseline: browse every vendor over the wireless link.
+
+    The user pages through each vendor's catalogue (``pages_per_vendor``
+    requests each, with human think time), asks for a quote, then buys
+    at the cheapest vendor.  Returns a :class:`BrowsingReport`.
+    """
+    cs = device.component("cs")
+    quotes = []
+    pages = 0
+    for vendor_id in vendor_ids:
+        for page in range(1, pages_per_vendor + 1):
+            yield from cs.call(
+                vendor_id, "shop.browse", {"page": page}, request_size=96
+            )
+            pages += 1
+            if think_time_s > 0:
+                yield device.env.timeout(think_time_s)
+        quote = yield from cs.call(
+            vendor_id, "shop.quote", {"product": product}, request_size=96
+        )
+        if quote.get("price") is not None:
+            quotes.append((quote["vendor"], quote["price"]))
+    if not quotes:
+        return BrowsingReport(best=None, receipt=None, pages_viewed=pages)
+    best_vendor, best_price = min(quotes, key=lambda q: (q[1], q[0]))
+    receipt = yield from cs.call(
+        device_best_target(best_vendor), "shop.buy", {"product": product},
+        request_size=96,
+    )
+    return BrowsingReport(
+        best=(best_vendor, best_price), receipt=receipt, pages_viewed=pages
+    )
+
+
+def device_best_target(vendor_id: str) -> str:
+    """Indirection point so tests can interpose failures."""
+    return vendor_id

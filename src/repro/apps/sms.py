@@ -1,0 +1,132 @@
+"""Scenario: next-generation SMS as mobile agents.
+
+"In fixed networking scenarios, Mobile Agents can be used to
+encapsulate the next generation of Short Message Service (SMS)
+messages: encapsulating the message in an agent, and delivering it to
+the recipient through a message centre, to be executed on the
+recipient's device."
+
+The :class:`SmsAgent` travels sender → message centre → recipient.  At
+the centre it *parks*, autonomously polling reachability until the
+recipient attaches (phones are often off or out of coverage), then
+delivers itself, executes its payload behaviour on the recipient's
+device, and optionally returns a delivery receipt to the sender via
+the centre.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List
+
+from ..errors import MigrationError
+from ..core.agents import Agent, AgentContext
+from ..core.host import MobileHost
+
+
+class SmsAgent(Agent):
+    """A message encapsulated in an agent.
+
+    State: ``recipient``, ``text``, ``centre``, ``deadline``,
+    ``retry`` (poll period while parked), ``receipt`` (bool), plus
+    ``status`` tracking.
+    """
+
+    code_size = 4_000
+
+    def on_arrival(self, context: AgentContext) -> Generator:
+        state = self.state
+        recipient = str(state["recipient"])
+        centre = str(state["centre"])
+        home = str(state["home"])
+        retry = float(state.get("retry", 5.0))  # type: ignore[arg-type]
+
+        if state.get("status") == "delivered":
+            # Receipt leg: back at the sender.
+            if context.host_id == home:
+                return
+            try:
+                yield from context.migrate(home)
+            except MigrationError:
+                context.die()
+
+        if context.host_id == recipient:
+            # Execute on the recipient's device: deliver the text.
+            context.deliver({"from": home, "text": state["text"]})
+            context.log("sms.delivered", to=recipient)
+            state["status"] = "delivered"
+            state["delivered_at"] = context.now
+            if state.get("receipt"):
+                try:
+                    yield from context.migrate(centre)
+                except MigrationError:
+                    pass  # receipt lost; the message itself arrived
+            return
+
+        if context.host_id != centre:
+            # First leg: reach the message centre.
+            yield from context.migrate(centre)
+
+        # Parked at the centre: poll until the recipient is reachable.
+        while True:
+            if context.now >= float(state["deadline"]):  # type: ignore[arg-type]
+                context.log("sms.expired", to=recipient)
+                state["status"] = "expired"
+                context.die()
+            if context.can_reach(recipient):
+                try:
+                    yield from context.migrate(recipient)
+                except MigrationError:
+                    pass  # raced a detach; keep waiting
+            yield from context.sleep(retry)
+
+
+@dataclass
+class SmsReceipt:
+    """What the sender learns when the receipt agent returns."""
+
+    recipient: str
+    delivered_at: float
+
+
+class SmsInbox:
+    """Collects SMS deliveries on a recipient host."""
+
+    def __init__(self, host: MobileHost) -> None:
+        self.host = host
+        self.messages: List[dict] = []
+        host.component("agents").on_delivery(self._on_delivery)
+
+    def _on_delivery(self, agent: Agent, payload: object) -> None:
+        if isinstance(payload, dict) and "text" in payload:
+            self.messages.append(payload)
+
+    def texts(self) -> List[str]:
+        return [message["text"] for message in self.messages]
+
+
+def send_sms(
+    sender: MobileHost,
+    centre_id: str,
+    recipient_id: str,
+    text: str,
+    ttl: float = 3600.0,
+    retry: float = 5.0,
+    receipt: bool = False,
+) -> str:
+    """Dispatch an SMS agent; returns its agent id.
+
+    With ``receipt=True`` the agent, after executing on the recipient,
+    travels home via the centre; await it with
+    ``sender.component("agents").completion(agent_id)``.
+    """
+    agent = SmsAgent()
+    return sender.component("agents").launch(
+        agent,
+        recipient=recipient_id,
+        centre=centre_id,
+        text=text,
+        deadline=sender.env.now + ttl,
+        retry=retry,
+        receipt=receipt,
+    )

@@ -1,0 +1,129 @@
+"""The logical-mobility middleware core — the paper's contribution.
+
+A :class:`MobileHost` runs on every device and hosts pluggable
+components implementing the four Fuggetta/Picco/Vigna paradigms —
+Client/Server (:class:`ClientServer`), Remote Evaluation
+(:class:`RemoteEvaluation`), Code On Demand (:class:`CodeOnDemand`),
+and Mobile Agents (:class:`AgentRuntime`) — plus decentralised
+discovery, a Jini-style lookup baseline, context awareness, paradigm
+assessment/selection, and dynamic self-update via COD.
+"""
+
+from .adaptation import (
+    PARADIGM_COD,
+    PARADIGM_CS,
+    PARADIGM_MA,
+    PARADIGM_REV,
+    PARADIGMS,
+    CostEstimate,
+    CostWeights,
+    ParadigmSelector,
+    TaskProfile,
+    estimate_cod,
+    estimate_cs,
+    estimate_ma,
+    estimate_rev,
+)
+from .agents import Agent, AgentContext, AgentRuntime, ItineraryAgent
+from .assessment import (
+    AssessmentReport,
+    AssessmentRow,
+    STANDARD_CONTEXTS,
+    assess,
+)
+from .builders import (
+    STANDARD_COMPONENTS,
+    laptop_host,
+    mutual_trust,
+    pda_host,
+    phone_host,
+    server_host,
+    standard_host,
+)
+from .cod import CodeOnDemand
+from .components import Component
+from .context import (
+    Battery,
+    ContextMonitor,
+    ContextRegistry,
+    KEY_BANDWIDTH,
+    KEY_BATTERY,
+    KEY_COST_PER_MB,
+    KEY_LOCATION_X,
+    KEY_LOCATION_Y,
+    KEY_NEIGHBORS,
+    KEY_STORAGE_FREE,
+    Reading,
+)
+from .cs import ClientServer
+from .discovery import Discovery
+from .handover import HandoverManager
+from .host import MobileHost
+from .lookup import LookupClient, LookupServer
+from .outbox import Outbox, OutboxEntry
+from .prefetch import PrefetchItem, Prefetcher
+from .rev import RemoteEvaluation
+from .services import ServiceDescription, service
+from .update import UpdateManager, UpdateReport, component_unit
+from .world import World
+
+__all__ = [
+    "Agent",
+    "AgentContext",
+    "AgentRuntime",
+    "AssessmentReport",
+    "AssessmentRow",
+    "Battery",
+    "ClientServer",
+    "CodeOnDemand",
+    "Component",
+    "ContextMonitor",
+    "ContextRegistry",
+    "CostEstimate",
+    "CostWeights",
+    "Discovery",
+    "HandoverManager",
+    "ItineraryAgent",
+    "KEY_BANDWIDTH",
+    "KEY_BATTERY",
+    "KEY_COST_PER_MB",
+    "KEY_LOCATION_X",
+    "KEY_LOCATION_Y",
+    "KEY_NEIGHBORS",
+    "KEY_STORAGE_FREE",
+    "LookupClient",
+    "LookupServer",
+    "MobileHost",
+    "Outbox",
+    "OutboxEntry",
+    "PARADIGMS",
+    "PARADIGM_COD",
+    "PARADIGM_CS",
+    "PARADIGM_MA",
+    "PARADIGM_REV",
+    "ParadigmSelector",
+    "PrefetchItem",
+    "Prefetcher",
+    "Reading",
+    "RemoteEvaluation",
+    "STANDARD_COMPONENTS",
+    "STANDARD_CONTEXTS",
+    "ServiceDescription",
+    "TaskProfile",
+    "UpdateManager",
+    "UpdateReport",
+    "World",
+    "assess",
+    "component_unit",
+    "estimate_cod",
+    "estimate_cs",
+    "estimate_ma",
+    "estimate_rev",
+    "laptop_host",
+    "mutual_trust",
+    "pda_host",
+    "phone_host",
+    "server_host",
+    "service",
+    "standard_host",
+]

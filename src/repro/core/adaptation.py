@@ -1,0 +1,259 @@
+"""Paradigm assessment and selection.
+
+"Different mobile code paradigms could be plugged-in dynamically and
+used when needed after assessment of the environment and application."
+This module is that assessment, made programmatic: closed-form cost
+estimates for each paradigm over a :class:`TaskProfile` and the current
+link/context, combined into a weighted composite the selector ranks.
+
+The estimates follow the Fuggetta/Picco/Vigna traffic decomposition
+(who initiates, what moves) — the same modelling the PrimaMob-UML
+methodology the paper cites performs at design time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..net import HEADER_BYTES, Link
+
+PARADIGM_CS = "cs"
+PARADIGM_REV = "rev"
+PARADIGM_COD = "cod"
+PARADIGM_MA = "ma"
+PARADIGMS = (PARADIGM_CS, PARADIGM_REV, PARADIGM_COD, PARADIGM_MA)
+
+
+@dataclass(frozen=True)
+class TaskProfile:
+    """The application-side facts a paradigm choice depends on."""
+
+    #: How many request/reply interactions the task needs.
+    interactions: int
+    #: Bytes of one request and one reply.
+    request_bytes: int
+    reply_bytes: int
+    #: Bytes of the code that would move (REV capsule / COD unit / agent).
+    code_bytes: int
+    #: Bytes of the final result the device actually wants.
+    result_bytes: int
+    #: Work units of computation per interaction.
+    work_units: float
+    #: Relative CPU speed of the local device and of the remote server.
+    local_speed: float = 0.2
+    remote_speed: float = 1.0
+    #: How many times this capability will be exercised after fetching
+    #: (COD amortisation horizon).
+    expected_reuses: int = 1
+    #: For MA: number of hosts an agent must visit.
+    hosts_to_visit: int = 1
+    #: Bytes of agent state carried per hop.
+    state_bytes: int = 512
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Predicted cost of running a task under one paradigm."""
+
+    paradigm: str
+    wireless_bytes: float
+    time_s: float
+    money: float
+    energy_j: float
+
+    def composite(self, weights: "CostWeights") -> float:
+        return (
+            weights.time * self.time_s
+            + weights.money * self.money
+            + weights.energy * self.energy_j
+            + weights.traffic * self.wireless_bytes
+        )
+
+
+@dataclass(frozen=True)
+class CostWeights:
+    """How much each cost dimension matters right now.
+
+    Derived from context: a draining battery raises ``energy``; a
+    per-MB tariff raises ``money``; an interactive user raises ``time``.
+    """
+
+    time: float = 1.0
+    money: float = 1.0
+    energy: float = 0.0
+    traffic: float = 0.0
+
+    @classmethod
+    def from_context(
+        cls,
+        battery_fraction: Optional[float] = None,
+        interactive: bool = True,
+    ) -> "CostWeights":
+        energy = 0.0
+        if battery_fraction is not None and battery_fraction < 0.3:
+            energy = 0.01 * (0.3 - battery_fraction) / 0.3
+        return cls(
+            time=1.0 if interactive else 0.2,
+            money=1.0,
+            energy=energy,
+            traffic=0.0,
+        )
+
+
+#: Energy per wireless byte (J) and per CPU-second (J), for estimates.
+_RADIO_J_PER_BYTE = 1.0e-6
+_CPU_J_PER_S = 1.0
+
+
+def _transfer(link: Link, size_bytes: float) -> Tuple[float, float]:
+    """(seconds, money) to move ``size_bytes`` over ``link``, as charged
+    to the mobile endpoint: per-MB tariffs on the bytes plus per-minute
+    tariffs on the airtime the transfer occupies."""
+    seconds = link.transfer_time(int(size_bytes)) + link.latency_s
+    technology = link.sender_technology
+    money = technology.transfer_cost(int(size_bytes))
+    money += seconds / 60.0 * technology.cost_per_minute
+    return seconds, money
+
+
+def estimate_cs(profile: TaskProfile, link: Link) -> CostEstimate:
+    """All interactions cross the wireless link; compute stays remote."""
+    per_round = (
+        profile.request_bytes + profile.reply_bytes + 2 * HEADER_BYTES
+    )
+    total_bytes = profile.interactions * per_round
+    transfer_s, transfer_money = _transfer(link, total_bytes)
+    seconds = transfer_s + (2 * link.latency_s) * max(
+        0, profile.interactions - 1
+    )
+    money = transfer_money
+    compute_s = (
+        profile.interactions * profile.work_units / 1e6 / profile.remote_speed
+    )
+    return CostEstimate(
+        paradigm=PARADIGM_CS,
+        wireless_bytes=total_bytes,
+        time_s=seconds + compute_s,
+        money=money,
+        energy_j=total_bytes * _RADIO_J_PER_BYTE,
+    )
+
+
+def estimate_rev(profile: TaskProfile, link: Link) -> CostEstimate:
+    """Code ships once; interactions happen at the server; one result back."""
+    outbound = (
+        profile.code_bytes
+        + profile.request_bytes
+        + profile.state_bytes
+        + HEADER_BYTES
+    )
+    inbound = profile.result_bytes + HEADER_BYTES
+    total_bytes = outbound + inbound
+    transfer_s, money = _transfer(link, total_bytes)
+    compute_s = (
+        profile.interactions * profile.work_units / 1e6 / profile.remote_speed
+    )
+    return CostEstimate(
+        paradigm=PARADIGM_REV,
+        wireless_bytes=total_bytes,
+        time_s=transfer_s + compute_s + link.latency_s,
+        money=money,
+        energy_j=total_bytes * _RADIO_J_PER_BYTE,
+    )
+
+
+def estimate_cod(profile: TaskProfile, link: Link) -> CostEstimate:
+    """Code downloads once; every (re)use then runs locally, offline."""
+    download = profile.code_bytes + HEADER_BYTES
+    transfer_s, money = _transfer(link, download)
+    uses = max(1, profile.expected_reuses)
+    compute_s = (
+        uses
+        * profile.interactions
+        * profile.work_units
+        / 1e6
+        / profile.local_speed
+    )
+    per_use_time = (transfer_s / uses) + compute_s / uses
+    return CostEstimate(
+        paradigm=PARADIGM_COD,
+        wireless_bytes=download / uses,
+        time_s=per_use_time,
+        money=money / uses,
+        energy_j=(
+            download * _RADIO_J_PER_BYTE / uses
+            + compute_s / uses * _CPU_J_PER_S
+        ),
+    )
+
+
+def estimate_ma(profile: TaskProfile, link: Link) -> CostEstimate:
+    """Agent leaves and returns over wireless; hops between servers are
+    fixed-network and cost the device nothing."""
+    hop_bytes = profile.code_bytes + profile.state_bytes + HEADER_BYTES
+    wireless = 2 * hop_bytes + profile.result_bytes
+    transfer_s, money = _transfer(link, wireless)
+    # Remote hops: modelled at backbone speed, so only a latency term.
+    remote_hops_s = profile.hosts_to_visit * 0.05
+    compute_s = (
+        profile.hosts_to_visit
+        * profile.interactions
+        * profile.work_units
+        / 1e6
+        / profile.remote_speed
+    )
+    return CostEstimate(
+        paradigm=PARADIGM_MA,
+        wireless_bytes=wireless,
+        time_s=transfer_s + remote_hops_s + compute_s,
+        money=money,
+        energy_j=wireless * _RADIO_J_PER_BYTE,
+    )
+
+
+_ESTIMATORS: Dict[str, Callable[[TaskProfile, Link], CostEstimate]] = {
+    PARADIGM_CS: estimate_cs,
+    PARADIGM_REV: estimate_rev,
+    PARADIGM_COD: estimate_cod,
+    PARADIGM_MA: estimate_ma,
+}
+
+
+class ParadigmSelector:
+    """Ranks the plugged-in paradigms for a task under current context."""
+
+    def __init__(self, available: Optional[List[str]] = None) -> None:
+        self.available = list(available or PARADIGMS)
+        for paradigm in self.available:
+            if paradigm not in _ESTIMATORS:
+                raise ValueError(f"unknown paradigm {paradigm!r}")
+
+    def estimates(
+        self, profile: TaskProfile, link: Link
+    ) -> List[CostEstimate]:
+        return [
+            _ESTIMATORS[paradigm](profile, link)
+            for paradigm in self.available
+        ]
+
+    def rank(
+        self,
+        profile: TaskProfile,
+        link: Link,
+        weights: CostWeights = CostWeights(),
+    ) -> List[CostEstimate]:
+        """Estimates sorted cheapest-composite first."""
+        return sorted(
+            self.estimates(profile, link),
+            key=lambda estimate: estimate.composite(weights),
+        )
+
+    def choose(
+        self,
+        profile: TaskProfile,
+        link: Link,
+        weights: CostWeights = CostWeights(),
+    ) -> CostEstimate:
+        """The winning paradigm's estimate for this task/context."""
+        return self.rank(profile, link, weights)[0]

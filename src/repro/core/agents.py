@@ -1,0 +1,476 @@
+"""Mobile Agents: autonomous units that decide when and where to migrate.
+
+An :class:`Agent` is a code unit plus serialisable state plus a current
+location.  Migration is *weak* (as in every deployed Java agent
+platform): the agent's ``on_arrival`` generator runs afresh at each
+host with only ``agent.state`` carried across — shipped as a signed
+capsule holding the agent's code unit and a state data unit.
+
+The :class:`AgentRuntime` component is the paper's "protected
+environment to host mobile agents": arrivals pass the policy and
+signature gate, and execution is metered against the guest budgets.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List
+
+from ..errors import (
+    MigrationError,
+    RequestTimeout,
+    SandboxViolation,
+    SecurityError,
+    TransportTimeout,
+    Unreachable,
+)
+from ..lmu import DataUnit, assemble_capsule, code_unit, estimate_size
+from ..net import Message
+from ..security import (
+    OP_ACCEPT_AGENT,
+    WORK_UNITS_PER_SECOND,
+    sign_capsule,
+)
+from .components import Component, MessageHandler
+
+KIND_TRANSFER = "agent.transfer"
+KIND_ACK = "agent.ack"
+
+
+class _MigrationComplete(Exception):
+    """Control flow: the agent left this host; stop local execution."""
+
+    def __init__(self, target: str) -> None:
+        super().__init__(target)
+        self.target = target
+
+
+class _AgentDied(Exception):
+    """Control flow: the agent chose to terminate."""
+
+
+class Agent:
+    """Base class for mobile agents.
+
+    Subclasses implement :meth:`on_arrival` as a generator over the
+    :class:`AgentContext` and MUST be constructible with no arguments
+    (reconstruction at the destination calls ``cls()`` and then
+    restores ``state``).  All persistent agent data lives in
+    ``self.state`` — plain, serialisable values only.
+    """
+
+    #: Modelled code footprint shipped per migration hop.
+    code_size: int = 10_000
+
+    def __init__(self) -> None:
+        self.state: Dict[str, object] = {}
+
+    @classmethod
+    def unit_name(cls) -> str:
+        return f"agent:{cls.__name__}"
+
+    @classmethod
+    def to_unit(cls):
+        """This agent class as a transferable code unit."""
+        return code_unit(
+            name=cls.unit_name(),
+            version="1.0.0",
+            factory=lambda: cls,
+            size_bytes=cls.code_size,
+            description=cls.__doc__ or "",
+        )
+
+    # -- agent identity ---------------------------------------------------------
+
+    @property
+    def agent_id(self) -> str:
+        return str(self.state.get("agent_id", "unlaunched"))
+
+    @property
+    def hops(self) -> int:
+        return int(self.state.get("hops", 0))  # type: ignore[arg-type]
+
+    def on_arrival(self, context: "AgentContext") -> Generator:
+        """The agent's behaviour at (each) host.  Must be a generator."""
+        raise NotImplementedError
+        yield  # pragma: no cover - marks this as a generator function
+
+
+class AgentContext:
+    """What an agent sees of the host it currently occupies."""
+
+    def __init__(self, runtime: "AgentRuntime", agent: Agent) -> None:
+        self._runtime = runtime
+        self._agent = agent
+        host = runtime.require_host()
+        self._exec = host.execution_context(principal=agent.agent_id)
+
+    # -- observation ---------------------------------------------------------
+
+    @property
+    def host_id(self) -> str:
+        return self._runtime.require_host().id
+
+    @property
+    def now(self) -> float:
+        return self._runtime.env.now
+
+    @property
+    def state(self) -> Dict[str, object]:
+        return self._agent.state
+
+    def neighbors(self) -> List[str]:
+        """Ids of hosts currently reachable over ad-hoc radio."""
+        host = self._runtime.require_host()
+        return sorted(
+            node.id for node in host.world.network.neighbors(host.node)
+        )
+
+    def can_reach(self, target_id: str) -> bool:
+        host = self._runtime.require_host()
+        if target_id not in host.world.network:
+            return False
+        return host.world.network.connected(host.id, target_id)
+
+    def random(self):
+        """The agent's own deterministic RNG stream."""
+        host = self._runtime.require_host()
+        return host.world.streams.stream(f"agent.{self._agent.agent_id}")
+
+    # -- action ------------------------------------------------------------------
+
+    def execute(self, work_units: float) -> Generator:
+        """Compute for ``work_units``, metered against the guest budget."""
+        self._exec.charge(work_units)
+        yield from self._runtime.require_host().execute(work_units)
+
+    def sleep(self, seconds: float) -> Generator:
+        yield self._runtime.env.timeout(seconds)
+
+    def invoke_local(self, service: str, args: object = None) -> Generator:
+        """Call a service offered by the *current* host, paying its CPU
+        cost locally (how a visiting agent uses a vendor's catalogue)."""
+        host = self._runtime.require_host()
+        entry = host.services.get(service)
+        if entry is None:
+            raise _AgentServiceMissing(
+                f"host {host.id} offers no service {service!r}"
+            )
+        handler, work_units = entry
+        self._exec.charge(work_units)
+        yield from host.execute(work_units)
+        result, _size = handler(args, host)
+        return result
+
+    def deliver(self, payload: object) -> None:
+        """Hand a payload to the current host's application layer."""
+        self._runtime.receive_delivery(self._agent, payload)
+
+    def log(self, event: str, **fields: object) -> None:
+        host = self._runtime.require_host()
+        host.world.trace.emit(
+            self.now, f"agent:{self._agent.agent_id}", event, **fields
+        )
+
+    def migrate(self, target_id: str) -> Generator:
+        """Move this agent to ``target_id``.
+
+        On success the local execution stops (weak mobility): control
+        does NOT return.  On failure :class:`MigrationError` is raised
+        and the agent keeps running here (it may pick another target).
+        """
+        yield from self._runtime._migrate(self._agent, target_id)
+        raise _MigrationComplete(target_id)
+
+    def clone_to(self, target_id: str) -> Generator:
+        """Launch a *copy* of this agent on ``target_id``.
+
+        Unlike :meth:`migrate`, the local agent keeps running.  The
+        clone gets a fresh agent id (suffix ``.cN``) and starts its own
+        ``on_arrival`` at the target.  Returns the clone's id; raises
+        :class:`MigrationError` when the transfer fails.
+        """
+        clone_id = yield from self._runtime._clone(self._agent, target_id)
+        return clone_id
+
+    def die(self) -> None:
+        """Terminate this agent here and now."""
+        raise _AgentDied(self._agent.agent_id)
+
+
+class _AgentServiceMissing(Exception):
+    """The current host does not offer a service the agent wanted."""
+
+
+#: Called with (agent, payload) when an agent delivers to this host.
+DeliveryListener = Callable[[Agent, object], None]
+
+
+class AgentRuntime(Component):
+    """Hosts, launches, migrates, and protects mobile agents."""
+
+    kind = "agents"
+    code_size = 12_000
+
+    def __init__(self, migration_timeout: float = 60.0) -> None:
+        super().__init__()
+        self.migration_timeout = migration_timeout
+        #: Agents currently executing on this host.
+        self.hosted: Dict[str, Agent] = {}
+        #: Final state of agents that completed (returned/finished) here.
+        self.completed: Dict[str, Dict[str, object]] = {}
+        #: Payloads delivered by agents to this host's application layer.
+        self.deliveries: List[object] = []
+        self._delivery_listeners: List[DeliveryListener] = []
+        self._completion_events: Dict[str, object] = {}
+        #: Per-runtime launch counter: agent ids (and therefore their
+        #: RNG stream names) stay deterministic within one World, no
+        #: matter what other simulations ran in the same process.
+        self._launch_counter = 0
+        self.failures = 0
+        self.violations = 0
+
+    def handlers(self) -> Dict[str, MessageHandler]:
+        return {KIND_TRANSFER: self._handle_transfer}
+
+    # -- application API -----------------------------------------------------------
+
+    def launch(self, agent: Agent, **initial_state: object):
+        """Start ``agent`` on this host; returns its assigned id."""
+        host = self.require_host()
+        agent.state.update(initial_state)
+        self._launch_counter += 1
+        agent.state.setdefault(
+            "agent_id", f"{host.id}-agent-{self._launch_counter}"
+        )
+        agent.state.setdefault("home", host.id)
+        agent.state.setdefault("hops", 0)
+        self._run(agent)
+        return agent.agent_id
+
+    def on_delivery(self, listener: DeliveryListener) -> None:
+        self._delivery_listeners.append(listener)
+
+    def receive_delivery(self, agent: Agent, payload: object) -> None:
+        self.deliveries.append(payload)
+        host = self.require_host()
+        host.world.metrics.counter("agents.deliveries").increment()
+        for listener in list(self._delivery_listeners):
+            listener(agent, payload)
+
+    def completion(self, agent_id: str):
+        """An event firing with the agent's final state when it completes
+        on this host (used to await a returning agent)."""
+        if agent_id in self.completed:
+            event = self.env.event()
+            event.succeed(self.completed[agent_id])
+            return event
+        event = self._completion_events.get(agent_id)
+        if event is None:
+            event = self.env.event()
+            self._completion_events[agent_id] = event
+        return event
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def _run(self, agent: Agent) -> None:
+        self.hosted[agent.agent_id] = agent
+        self.env.process(
+            self._lifecycle(agent),
+            name=f"agent:{agent.agent_id}@{self.require_host().id}",
+        )
+
+    def _lifecycle(self, agent: Agent) -> Generator:
+        host = self.require_host()
+        context = AgentContext(self, agent)
+        try:
+            yield from agent.on_arrival(context)
+        except _MigrationComplete as move:
+            self.hosted.pop(agent.agent_id, None)
+            host.world.trace.emit(
+                self.env.now, host.id, "agent.departed",
+                agent=agent.agent_id, to=move.target,
+            )
+            return
+        except _AgentDied:
+            self._finish(agent, outcome="died")
+            return
+        except SandboxViolation as violation:
+            self.violations += 1
+            host.world.trace.emit(
+                self.env.now, host.id, "agent.violation",
+                agent=agent.agent_id, error=str(violation),
+            )
+            self._finish(agent, outcome="killed")
+            return
+        except MigrationError as error:
+            self.failures += 1
+            host.world.trace.emit(
+                self.env.now, host.id, "agent.stranded",
+                agent=agent.agent_id, error=str(error),
+            )
+            self._finish(agent, outcome="stranded")
+            return
+        except Exception as error:  # noqa: BLE001 - agent code is foreign
+            self.failures += 1
+            host.world.trace.emit(
+                self.env.now, host.id, "agent.crashed",
+                agent=agent.agent_id,
+                error=f"{type(error).__name__}: {error}",
+            )
+            self._finish(agent, outcome="crashed")
+            return
+        self._finish(agent, outcome="completed")
+
+    def _finish(self, agent: Agent, outcome: str) -> None:
+        host = self.require_host()
+        self.hosted.pop(agent.agent_id, None)
+        final_state = dict(agent.state)
+        final_state["outcome"] = outcome
+        self.completed[agent.agent_id] = final_state
+        host.world.metrics.counter(f"agents.{outcome}").increment()
+        event = self._completion_events.pop(agent.agent_id, None)
+        if event is not None and not event.triggered:
+            event.succeed(final_state)
+
+    # -- migration ---------------------------------------------------------------------
+
+    def _transfer(self, agent: Agent, state: Dict[str, object], target_id: str) -> Generator:
+        """Ship ``state`` under ``agent``'s code to ``target_id``.
+
+        Shared by migration and cloning.  Raises
+        :class:`MigrationError` on any failure or refusal.
+        """
+        host = self.require_host()
+        if target_id == host.id:
+            raise MigrationError(f"agent {agent.agent_id} is already on {host.id}")
+        capsule = assemble_capsule(
+            sender=host.id,
+            purpose="agent",
+            code_units=[type(agent).to_unit()],
+            data_units=[
+                DataUnit("agent-state", state, estimate_size(state))
+            ],
+            built_at=self.env.now,
+        )
+        sign_seconds = sign_capsule(host.keypair, capsule)
+        yield from host.execute(sign_seconds * WORK_UNITS_PER_SECOND)
+        message = Message(
+            source=host.id,
+            destination=target_id,
+            kind=KIND_TRANSFER,
+            payload={"capsule": capsule},
+            size_bytes=capsule.size_bytes,
+        )
+        try:
+            reply = yield from host.request(
+                message, timeout=self.migration_timeout
+            )
+        except (Unreachable, TransportTimeout, RequestTimeout) as error:
+            raise MigrationError(
+                f"agent {agent.agent_id}: transfer to {target_id} failed "
+                f"({type(error).__name__})"
+            ) from error
+        outcome = reply.payload or {}
+        if not outcome.get("accepted"):
+            raise MigrationError(
+                f"agent {agent.agent_id}: {target_id} refused arrival "
+                f"({outcome.get('reason', 'no reason given')})"
+            )
+
+    def _migrate(self, agent: Agent, target_id: str) -> Generator:
+        host = self.require_host()
+        state = dict(agent.state)
+        state["hops"] = int(state.get("hops", 0)) + 1
+        yield from self._transfer(agent, state, target_id)
+        host.world.metrics.counter("agents.migrations").increment()
+        agent.state = state  # committed: the shipped state is canonical
+
+    def _clone(self, agent: Agent, target_id: str) -> Generator:
+        host = self.require_host()
+        state = dict(agent.state)
+        state["hops"] = int(state.get("hops", 0)) + 1
+        clones = int(agent.state.get("clones_made", 0)) + 1  # type: ignore[arg-type]
+        state["agent_id"] = f"{agent.agent_id}.c{clones}"
+        state["clones_made"] = 0
+        yield from self._transfer(agent, state, target_id)
+        agent.state["clones_made"] = clones
+        host.world.metrics.counter("agents.clones").increment()
+        return state["agent_id"]
+
+    def _handle_transfer(self, message: Message) -> Generator:
+        host = self.require_host()
+        capsule = (message.payload or {})["capsule"]
+        try:
+            yield from host.admit_capsule(capsule, OP_ACCEPT_AGENT)
+        except SecurityError as error:
+            host.rejected_capsules += 1
+            yield host.reply_to(
+                message,
+                KIND_ACK,
+                payload={"accepted": False, "reason": str(error)},
+                size_bytes=64,
+            )
+            return
+        unit = capsule.code_units[0]
+        agent_class = unit.instantiate()
+        agent = agent_class()
+        agent.state = dict(capsule.data_unit("agent-state").payload)
+        yield host.reply_to(
+            message, KIND_ACK, payload={"accepted": True}, size_bytes=32
+        )
+        host.world.trace.emit(
+            self.env.now, host.id, "agent.arrived",
+            agent=agent.agent_id, origin=message.source,
+        )
+        host.world.metrics.counter("agents.arrivals").increment()
+        self._run(agent)
+
+
+class ItineraryAgent(Agent):
+    """An agent that visits a list of hosts, then returns home.
+
+    Subclasses override :meth:`visit`; its return value is appended to
+    ``state["results"]``.  Unreachable hosts are skipped; the homeward
+    migration is retried with backoff.
+    """
+
+    #: Seconds between homeward migration retries.
+    home_retry_delay: float = 5.0
+    home_retry_limit: int = 5
+
+    def visit(self, context: AgentContext) -> Generator:
+        """Work to do at each itinerary host; generator returning a result."""
+        raise NotImplementedError
+        yield  # pragma: no cover - marks this as a generator function
+
+    def on_arrival(self, context: AgentContext) -> Generator:
+        state = self.state
+        state.setdefault("results", [])
+        state.setdefault("index", 0)
+        state.setdefault("skipped", [])
+        itinerary: List[str] = list(state.get("itinerary", []))  # type: ignore[arg-type]
+        home = str(state["home"])
+
+        while int(state["index"]) < len(itinerary):  # type: ignore[arg-type]
+            index = int(state["index"])  # type: ignore[arg-type]
+            target = itinerary[index]
+            if target == context.host_id:
+                result = yield from self.visit(context)
+                state["results"].append(result)  # type: ignore[union-attr]
+                state["index"] = index + 1
+                continue
+            try:
+                yield from context.migrate(target)
+            except MigrationError:
+                state["skipped"].append(target)  # type: ignore[union-attr]
+                state["index"] = index + 1
+        if context.host_id == home:
+            return  # completed at home; results are in state
+        for _attempt in range(self.home_retry_limit):
+            try:
+                yield from context.migrate(home)
+            except MigrationError:
+                yield from context.sleep(self.home_retry_delay)
+        raise MigrationError(
+            f"agent {self.agent_id} could not return home to {home}"
+        )

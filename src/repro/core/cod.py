@@ -1,0 +1,184 @@
+"""Code On Demand: fetch capability when needed, drop it when not.
+
+The paper's flagship scenario: "Imagine having applications that
+transparently download audio codecs to play a new audio format … when
+the code is no longer needed, the device can choose to delete it,
+conserving resources."  The client side sends its installed inventory
+so the provider ships a differential capsule; the provider side serves
+from its repository (trusted third party) or its own codebase (a peer
+in an ad-hoc scenario).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Sequence
+
+from ..errors import UnitNotFound
+from ..lmu import (
+    Capsule,
+    Requirement,
+    build_capsule,
+    estimate_size,
+    install_capsule,
+)
+from ..net import Message
+from ..security import (
+    OP_INSTALL_CODE,
+    OP_SERVE_COD,
+    WORK_UNITS_PER_SECOND,
+    sign_capsule,
+)
+from .components import Component, MessageHandler
+
+KIND_REQUEST = "cod.request"
+KIND_REPLY = "cod.reply"
+KIND_ERROR = "cod.error"
+
+
+class CodeOnDemand(Component):
+    """Fetch, install, and serve code units on demand."""
+
+    kind = "cod"
+    code_size = 6_000
+
+    def handlers(self) -> Dict[str, MessageHandler]:
+        return {KIND_REQUEST: self._handle_request}
+
+    # -- client side -------------------------------------------------------------
+
+    def fetch(
+        self,
+        provider_id: str,
+        roots: Sequence[str],
+        install: bool = True,
+        pinned: bool = False,
+        timeout: float = 60.0,
+    ) -> Generator:
+        """Fetch the closure of ``roots`` from ``provider_id`` (generator).
+
+        Sends the local inventory so the provider ships only what is
+        missing; verifies, then installs (unless ``install=False``).
+        Returns the received :class:`Capsule`.  Raises
+        :class:`UnitNotFound` when the provider cannot supply a root.
+        """
+        host = self.require_host()
+        inventory = {
+            name: str(version)
+            for name, version in host.codebase.inventory().items()
+        }
+        message = Message(
+            source=host.id,
+            destination=provider_id,
+            kind=KIND_REQUEST,
+            payload={"roots": list(roots), "inventory": inventory},
+            size_bytes=estimate_size(list(roots)) + estimate_size(inventory),
+        )
+        host.world.metrics.counter("cod.fetches").increment()
+        reply = yield from host.request(message, timeout=timeout)
+        if reply.kind == KIND_ERROR:
+            raise UnitNotFound(
+                f"provider {provider_id} cannot supply {list(roots)}: "
+                f"{(reply.payload or {}).get('error', '')}"
+            )
+        capsule: Capsule = (reply.payload or {})["capsule"]
+        yield from host.admit_capsule(capsule, OP_INSTALL_CODE)
+        host.world.metrics.counter("cod.bytes_fetched").increment(
+            capsule.size_bytes
+        )
+        if install:
+            install_capsule(capsule, host.codebase, pinned=pinned)
+        return capsule
+
+    def ensure(
+        self,
+        roots: Sequence[str],
+        provider_id: str,
+        pinned: bool = False,
+        timeout: float = 60.0,
+    ) -> Generator:
+        """Make sure ``roots`` are installed, fetching only on a miss.
+
+        Returns ``"hit"`` when everything was already installed (a
+        cache hit: the units are touched for the eviction stats) and
+        ``"miss"`` when a fetch was needed.
+        """
+        host = self.require_host()
+        requirements = [Requirement.parse(root) for root in roots]
+        if all(host.codebase.satisfies(req) for req in requirements):
+            for req in requirements:
+                host.codebase.touch(req.name)
+            host.world.metrics.counter("cod.hits").increment()
+            return "hit"
+        host.world.metrics.counter("cod.misses").increment()
+        yield from self.fetch(
+            provider_id, roots, install=True, pinned=pinned, timeout=timeout
+        )
+        return "miss"
+
+    def release(self, names: Sequence[str]) -> List[str]:
+        """Uninstall units no longer needed ("the device can choose to
+        delete it, conserving resources").  Returns what was removed."""
+        host = self.require_host()
+        removed = []
+        for name in names:
+            if name in host.codebase:
+                host.codebase.uninstall(name)
+                removed.append(name)
+        return removed
+
+    # -- provider side ----------------------------------------------------------------
+
+    def _catalogue_resolve(self, requirement: Requirement):
+        """Resolve from the repository first, then the local codebase."""
+        host = self.require_host()
+        if host.repository is not None:
+            try:
+                return host.repository.resolve(requirement)
+            except UnitNotFound:
+                pass
+        unit = host.codebase.get(requirement.name)
+        if not requirement.satisfied_by(unit):
+            raise UnitNotFound(
+                f"{host.id} holds {unit.qualified_name}, which does not "
+                f"satisfy {requirement}"
+            )
+        return unit
+
+    def _handle_request(self, message: Message) -> Generator:
+        host = self.require_host()
+        host.policy.check(OP_SERVE_COD, message.source)
+        payload = message.payload or {}
+        roots = payload.get("roots", [])
+        inventory = {
+            name: _parse_version(text)
+            for name, text in (payload.get("inventory") or {}).items()
+        }
+        try:
+            capsule = build_capsule(
+                sender=host.id,
+                purpose="cod-reply",
+                roots=roots,
+                resolve=self._catalogue_resolve,
+                built_at=self.env.now,
+                already_installed=inventory,
+            )
+        except UnitNotFound as error:
+            yield host.reply_to(
+                message, KIND_ERROR, payload={"error": str(error)}, size_bytes=64
+            )
+            return
+        sign_seconds = sign_capsule(host.keypair, capsule)
+        yield from host.execute(sign_seconds * WORK_UNITS_PER_SECOND)
+        host.world.metrics.counter("cod.served").increment()
+        yield host.reply_to(
+            message,
+            KIND_REPLY,
+            payload={"capsule": capsule},
+            size_bytes=capsule.size_bytes,
+        )
+
+
+def _parse_version(text: str):
+    from ..lmu import Version
+
+    return Version.parse(text)

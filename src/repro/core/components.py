@@ -1,0 +1,86 @@
+"""The component model: pluggable middleware capabilities.
+
+The paper argues that "different mobile code paradigms could be
+plugged-in dynamically and used when needed".  Concretely: each
+paradigm (CS, REV, COD, MA), discovery flavour, and manager is a
+:class:`Component` registered with a host.  Components declare the
+message kinds they handle; the host's dispatch loop routes inbound
+messages to them.  Because components are described by code units,
+they can themselves be shipped and hot-swapped via COD (see
+:mod:`repro.core.update`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Generator, Optional
+
+from ..errors import ComponentError
+from ..lmu import Version
+from ..net import Message
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .host import MobileHost
+
+#: A handler consumes one inbound message; it is run as a kernel process,
+#: so it may yield events (timeouts, sends) freely.
+MessageHandler = Callable[[Message], Generator]
+
+
+class Component:
+    """Base class for middleware components.
+
+    Subclasses set :attr:`kind` (registry name, e.g. ``"cod"``) and
+    :attr:`version`, implement :meth:`handlers`, and may override the
+    lifecycle hooks.  A component is *attached* to exactly one host.
+    """
+
+    kind: str = "component"
+    version: Version = Version(1, 0, 0)
+    #: Modelled code footprint when shipped as an update capsule.
+    code_size: int = 8_000
+
+    def __init__(self) -> None:
+        self.host: Optional["MobileHost"] = None
+        self.started = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def attach(self, host: "MobileHost") -> None:
+        if self.host is not None:
+            raise ComponentError(
+                f"component {self.kind} is already attached to {self.host.id}"
+            )
+        self.host = host
+
+    def start(self) -> None:
+        """Begin operation (spawn internal processes here)."""
+        if self.host is None:
+            raise ComponentError(f"component {self.kind} is not attached")
+        self.started = True
+
+    def stop(self) -> None:
+        """Cease operation; must leave the component restartable-by-replacement."""
+        self.started = False
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def handlers(self) -> Dict[str, MessageHandler]:
+        """Message kind -> handler mapping this component serves."""
+        return {}
+
+    # -- conveniences ------------------------------------------------------------
+
+    @property
+    def env(self):
+        if self.host is None:
+            raise ComponentError(f"component {self.kind} is not attached")
+        return self.host.env
+
+    def require_host(self) -> "MobileHost":
+        if self.host is None:
+            raise ComponentError(f"component {self.kind} is not attached")
+        return self.host
+
+    def __repr__(self) -> str:
+        owner = self.host.id if self.host else "unattached"
+        return f"<{type(self).__name__} {self.kind}@{self.version} on {owner}>"

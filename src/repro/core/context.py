@@ -1,0 +1,199 @@
+"""Context awareness: batteries, typed readings, change notification.
+
+"Through the use of context-awareness techniques, the middleware should
+notify applications of their current context, so that they can adapt
+accordingly."  The :class:`ContextRegistry` holds typed, timestamped
+readings; listeners are notified on change; a :class:`ContextMonitor`
+process keeps the standard readings fresh from the live system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Generator, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .host import MobileHost
+
+#: Standard context keys written by the monitor.
+KEY_BATTERY = "battery.fraction"
+KEY_NEIGHBORS = "net.neighbors"
+KEY_BANDWIDTH = "net.bandwidth_bps"
+KEY_COST_PER_MB = "net.cost_per_mb"
+KEY_STORAGE_FREE = "storage.free_bytes"
+KEY_LOCATION_X = "location.x"
+KEY_LOCATION_Y = "location.y"
+
+ContextListener = Callable[[str, object, object], None]
+
+
+class Battery:
+    """An energy store drained by CPU, radio, and idling.
+
+    Calibrated loosely to a 2002 PDA: ~10 Wh capacity, ~1 W active CPU,
+    ~1 µJ per radio byte.  Experiments read :attr:`fraction`; hosts
+    charge it as they compute and communicate.
+    """
+
+    def __init__(
+        self,
+        capacity_joules: float = 36_000.0,
+        cpu_watts: float = 1.0,
+        radio_joules_per_byte: float = 1.0e-6,
+        idle_watts: float = 0.05,
+    ) -> None:
+        if capacity_joules <= 0:
+            raise ValueError("battery capacity must be positive")
+        self.capacity_joules = capacity_joules
+        self.level_joules = capacity_joules
+        self.cpu_watts = cpu_watts
+        self.radio_joules_per_byte = radio_joules_per_byte
+        self.idle_watts = idle_watts
+
+    @property
+    def fraction(self) -> float:
+        return max(0.0, self.level_joules / self.capacity_joules)
+
+    @property
+    def empty(self) -> bool:
+        return self.level_joules <= 0.0
+
+    def consume(self, joules: float) -> None:
+        if joules < 0:
+            raise ValueError("cannot consume negative energy")
+        self.level_joules = max(0.0, self.level_joules - joules)
+
+    def consume_cpu(self, seconds: float) -> None:
+        self.consume(self.cpu_watts * seconds)
+
+    def consume_radio(self, size_bytes: int) -> None:
+        self.consume(self.radio_joules_per_byte * size_bytes)
+
+    def consume_idle(self, seconds: float) -> None:
+        self.consume(self.idle_watts * seconds)
+
+    def recharge(self) -> None:
+        self.level_joules = self.capacity_joules
+
+
+@dataclass(frozen=True)
+class Reading:
+    """One context value with its observation time."""
+
+    key: str
+    value: object
+    observed_at: float
+
+    def age(self, now: float) -> float:
+        return now - self.observed_at
+
+
+class ContextRegistry:
+    """Typed, timestamped context readings with change listeners."""
+
+    def __init__(self, now: Callable[[], float]) -> None:
+        self._now = now
+        self._readings: Dict[str, Reading] = {}
+        self._listeners: List[ContextListener] = []
+
+    def set(self, key: str, value: object) -> None:
+        """Write a reading; listeners fire only on value *change*."""
+        previous = self._readings.get(key)
+        self._readings[key] = Reading(key, value, self._now())
+        if previous is None or previous.value != value:
+            old = previous.value if previous else None
+            for listener in list(self._listeners):
+                listener(key, old, value)
+
+    def get(self, key: str, default: object = None) -> object:
+        reading = self._readings.get(key)
+        return reading.value if reading is not None else default
+
+    def reading(self, key: str) -> Optional[Reading]:
+        return self._readings.get(key)
+
+    def fresh(self, key: str, max_age: float) -> bool:
+        reading = self._readings.get(key)
+        return reading is not None and reading.age(self._now()) <= max_age
+
+    def subscribe(self, listener: ContextListener) -> None:
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: ContextListener) -> None:
+        self._listeners.remove(listener)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {key: reading.value for key, reading in self._readings.items()}
+
+    def keys(self) -> List[str]:
+        return sorted(self._readings)
+
+
+class ContextMonitor:
+    """Keeps the standard readings of one host fresh.
+
+    Samples every ``interval`` seconds: battery fraction, ad-hoc
+    neighbour count, free storage, position, and — towards a designated
+    ``reference_peer`` if given — available bandwidth and tariff.
+    """
+
+    def __init__(
+        self,
+        host: "MobileHost",
+        interval: float = 5.0,
+        reference_peer: Optional[str] = None,
+        crash_on_empty_battery: bool = False,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.host = host
+        self.interval = interval
+        self.reference_peer = reference_peer
+        self.crash_on_empty_battery = crash_on_empty_battery
+        self._process = host.env.process(
+            self._loop(), name=f"context-monitor:{host.id}"
+        )
+
+    def sample_once(self) -> None:
+        host = self.host
+        registry = host.context
+        node = host.node
+        if host.battery is not None:
+            host.battery.consume_idle(0.0)  # no-op; keeps interface obvious
+            registry.set(KEY_BATTERY, round(host.battery.fraction, 6))
+        registry.set(
+            KEY_NEIGHBORS, len(host.world.network.neighbors(node))
+        )
+        registry.set(KEY_STORAGE_FREE, host.codebase.free_bytes)
+        registry.set(KEY_LOCATION_X, node.position.x)
+        registry.set(KEY_LOCATION_Y, node.position.y)
+        if self.reference_peer and self.reference_peer in host.world.network:
+            link = host.world.network.best_link(
+                node, host.world.network.node(self.reference_peer)
+            )
+            if link is None:
+                registry.set(KEY_BANDWIDTH, 0.0)
+            else:
+                registry.set(KEY_BANDWIDTH, link.bandwidth_bps)
+                registry.set(
+                    KEY_COST_PER_MB, link.sender_technology.cost_per_mb
+                )
+
+    def _loop(self) -> Generator:
+        while True:
+            if self.host.node.up:
+                if self.host.battery is not None:
+                    self.host.battery.consume_idle(self.interval)
+                self.sample_once()
+                if (
+                    self.crash_on_empty_battery
+                    and self.host.battery is not None
+                    and self.host.battery.empty
+                ):
+                    self.host.world.trace.emit(
+                        self.host.env.now,
+                        self.host.id,
+                        "host.battery_flat",
+                    )
+                    self.host.node.crash()
+            yield self.host.env.timeout(self.interval)

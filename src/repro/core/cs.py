@@ -1,0 +1,104 @@
+"""Client/Server: the classic non-mobile paradigm (the CS baseline).
+
+"The request of a client triggers the execution of a unit of code in a
+server and returns the results to the client."  No code moves; only
+request and reply data cross the network.  Every other paradigm is
+evaluated against this baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+from ..errors import RemoteExecutionError, ServiceNotFound
+from ..lmu import estimate_size
+from ..net import Message
+from .components import Component, MessageHandler
+
+KIND_REQUEST = "cs.request"
+KIND_REPLY = "cs.reply"
+KIND_ERROR = "cs.error"
+
+
+class ClientServer(Component):
+    """Request/reply invocation of named services on remote hosts."""
+
+    kind = "cs"
+    code_size = 4_000
+
+    def handlers(self) -> Dict[str, MessageHandler]:
+        return {KIND_REQUEST: self._handle_request}
+
+    # -- client side -------------------------------------------------------------
+
+    def call(
+        self,
+        server_id: str,
+        service: str,
+        args: object = None,
+        request_size: Optional[int] = None,
+        timeout: float = 30.0,
+    ) -> Generator:
+        """Invoke ``service`` on ``server_id`` (generator helper).
+
+        Returns the service result.  Raises :class:`ServiceNotFound`
+        when the server does not offer the service, and
+        :class:`RemoteExecutionError` when the service handler failed.
+        """
+        host = self.require_host()
+        message = Message(
+            source=host.id,
+            destination=server_id,
+            kind=KIND_REQUEST,
+            payload={"service": service, "args": args},
+            size_bytes=(
+                request_size if request_size is not None else estimate_size(args)
+            ),
+        )
+        host.world.metrics.counter("cs.calls").increment()
+        reply = yield from host.request(message, timeout=timeout)
+        if reply.kind == KIND_ERROR:
+            details = reply.payload or {}
+            if details.get("error_type") == "ServiceNotFound":
+                raise ServiceNotFound(details.get("error", service))
+            raise RemoteExecutionError(
+                f"service {service!r} on {server_id} failed",
+                remote_error=str(details.get("error", "")),
+            )
+        return reply.payload
+
+    # -- server side ----------------------------------------------------------------
+
+    def _handle_request(self, message: Message) -> Generator:
+        host = self.require_host()
+        payload = message.payload or {}
+        service_name = payload.get("service")
+        entry = host.services.get(service_name)
+        if entry is None:
+            yield host.reply_to(
+                message,
+                KIND_ERROR,
+                payload={
+                    "error": f"no service {service_name!r} on {host.id}",
+                    "error_type": "ServiceNotFound",
+                },
+                size_bytes=64,
+            )
+            return
+        handler, work_units = entry
+        yield from host.execute(work_units)
+        try:
+            result, size_bytes = handler(payload.get("args"), host)
+        except Exception as error:  # noqa: BLE001 - app handlers are foreign code
+            yield host.reply_to(
+                message,
+                KIND_ERROR,
+                payload={
+                    "error": f"{type(error).__name__}: {error}",
+                    "error_type": type(error).__name__,
+                },
+                size_bytes=64,
+            )
+            return
+        host.world.metrics.counter("cs.served").increment()
+        yield host.reply_to(message, KIND_REPLY, payload=result, size_bytes=size_bytes)

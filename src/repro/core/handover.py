@@ -1,0 +1,110 @@
+"""Vertical handover: managing attachment across network infrastructures.
+
+The paper requires middleware that lets devices "migrate between
+different network infrastructures".  Link *selection* is already
+per-message (the transport picks the best current link), but
+infrastructure attachment has costs the middleware must manage: GPRS
+bytes are metered, dial-up minutes are metered, and idle attachments
+burn money.  The :class:`HandoverManager` keeps exactly the attachments
+a policy wants: detach metered interfaces while a free path to the
+reference peer exists, attach the cheapest metered one when it is the
+only way through.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from ..net import Interface
+from .host import MobileHost
+
+
+class HandoverManager:
+    """Keeps a host attached through the cheapest viable infrastructure.
+
+    Every ``interval`` seconds: if a *free* link to ``reference_peer``
+    exists (ad-hoc in range, or an unmetered infrastructure
+    attachment), metered interfaces are detached; otherwise the
+    cheapest metered infrastructure interface is attached.
+    """
+
+    def __init__(
+        self,
+        host: MobileHost,
+        reference_peer: str,
+        interval: float = 2.0,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.host = host
+        self.reference_peer = reference_peer
+        self.interval = interval
+        self.handovers: List[tuple] = []
+        self._process = host.env.process(
+            self._loop(), name=f"handover:{host.id}"
+        )
+
+    # -- policy ------------------------------------------------------------------
+
+    def _metered_interfaces(self) -> List[Interface]:
+        return sorted(
+            (
+                interface
+                for interface in self.host.node.interfaces.values()
+                if interface.technology.infrastructure
+                and (
+                    interface.technology.cost_per_mb > 0
+                    or interface.technology.cost_per_minute > 0
+                )
+            ),
+            key=lambda interface: (
+                interface.technology.cost_per_mb
+                + interface.technology.cost_per_minute,
+                interface.technology.name,
+            ),
+        )
+
+    def _free_link_exists(self) -> bool:
+        network = self.host.world.network
+        if self.reference_peer not in network:
+            return False
+        peer = network.node(self.reference_peer)
+        for link in network.links_between(self.host.node, peer):
+            if link.is_free:
+                return True
+        return False
+
+    def step(self) -> Generator:
+        """One handover decision (generator helper; yields setup time)."""
+        metered = self._metered_interfaces()
+        if self._free_link_exists():
+            for interface in metered:
+                if interface.attached:
+                    interface.detach()
+                    self.handovers.append(
+                        (self.host.env.now, "detach", interface.technology.name)
+                    )
+                    self.host.world.metrics.counter(
+                        "handover.detaches"
+                    ).increment()
+            return
+        # No free path: make sure the cheapest metered interface is up.
+        for interface in metered:
+            if not interface.enabled:
+                continue
+            if interface.attached:
+                return
+            setup = interface.attach()
+            self.handovers.append(
+                (self.host.env.now, "attach", interface.technology.name)
+            )
+            self.host.world.metrics.counter("handover.attaches").increment()
+            if setup > 0:
+                yield self.host.env.timeout(setup)
+            return
+
+    def _loop(self) -> Generator:
+        while True:
+            if self.host.node.up:
+                yield from self.step()
+            yield self.host.env.timeout(self.interval)

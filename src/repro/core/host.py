@@ -1,0 +1,302 @@
+"""The mobile host: the middleware runtime on one device.
+
+A :class:`MobileHost` ties a network node to a codebase, a security
+identity, a sandbox, a context registry, and a set of pluggable
+components.  It runs the dispatch loop that routes inbound messages to
+component handlers, correlates request/reply exchanges, gates inbound
+capsules through policy and signature checks, and meters CPU and
+battery for everything executed locally.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, Optional, Tuple
+
+from ..errors import (
+    ComponentError,
+    MiddlewareError,
+    RequestTimeout,
+    SecurityError,
+    TransportTimeout,
+    Unreachable,
+)
+from ..lmu import Capsule, Codebase, CodeRepository
+from ..net import Message, NetworkNode
+from ..security import (
+    ExecutionContext,
+    KeyPair,
+    Sandbox,
+    SecurityPolicy,
+    SIGNED_POLICY,
+    TrustStore,
+    WORK_UNITS_PER_SECOND,
+    capsule_verification_delay,
+    verify_capsule,
+)
+from ..sim import Event, Process
+from .components import Component, MessageHandler
+from .context import Battery, ContextRegistry
+from .world import World
+
+#: A CS service handler: (request payload, server host) -> (result, size).
+ServiceHandler = Callable[[object, "MobileHost"], Tuple[object, int]]
+
+
+class MobileHost:
+    """The middleware runtime on one network node."""
+
+    def __init__(
+        self,
+        world: World,
+        node: NetworkNode,
+        policy: SecurityPolicy = SIGNED_POLICY,
+        quota_bytes: float = float("inf"),
+        battery: Optional[Battery] = None,
+        keypair: Optional[KeyPair] = None,
+        repository: Optional[CodeRepository] = None,
+    ) -> None:
+        self.world = world
+        self.env = world.env
+        self.node = node
+        self.policy = policy
+        self.battery = battery
+        self.codebase = Codebase(
+            quota_bytes=quota_bytes, now=lambda: self.env.now
+        )
+        self.truststore = TrustStore()
+        self.sandbox = Sandbox(node.id)
+        self.keypair = keypair or KeyPair.generate(
+            node.id, world.streams.stream(f"keys.{node.id}")
+        )
+        #: Publishable catalogue, for hosts that serve COD (may be None).
+        self.repository = repository
+        self.components: Dict[str, Component] = {}
+        self._handlers: Dict[str, MessageHandler] = {}
+        self._pending: Dict[int, Event] = {}
+        #: CS services offered locally: name -> (handler, work units).
+        self.services: Dict[str, Tuple[ServiceHandler, float]] = {}
+        self.context = ContextRegistry(now=lambda: self.env.now)
+        self.unhandled_messages = 0
+        self.rejected_capsules = 0
+        self._dispatcher = self.env.process(
+            self._dispatch_loop(), name=f"dispatch:{node.id}"
+        )
+
+    @property
+    def id(self) -> str:
+        return self.node.id
+
+    def __repr__(self) -> str:
+        return f"<MobileHost {self.id} components={sorted(self.components)}>"
+
+    # -- component management ---------------------------------------------------
+
+    def add_component(self, component: Component, start: bool = True) -> Component:
+        """Attach (and by default start) a component, wiring its handlers."""
+        if component.kind in self.components:
+            raise ComponentError(
+                f"host {self.id} already has a {component.kind!r} component"
+            )
+        component.attach(self)
+        self.components[component.kind] = component
+        for kind, handler in component.handlers().items():
+            if kind in self._handlers:
+                raise ComponentError(
+                    f"message kind {kind!r} already handled on {self.id}"
+                )
+            self._handlers[kind] = handler
+        if start:
+            component.start()
+        return component
+
+    def remove_component(self, kind: str) -> Component:
+        """Stop and detach a component, unwiring its handlers."""
+        try:
+            component = self.components.pop(kind)
+        except KeyError:
+            raise ComponentError(
+                f"host {self.id} has no {kind!r} component"
+            ) from None
+        if component.started:
+            component.stop()
+        for message_kind in component.handlers():
+            self._handlers.pop(message_kind, None)
+        component.host = None
+        return component
+
+    def component(self, kind: str) -> Component:
+        try:
+            return self.components[kind]
+        except KeyError:
+            raise ComponentError(
+                f"host {self.id} has no {kind!r} component"
+            ) from None
+
+    # -- CS service registry -----------------------------------------------------
+
+    def register_service(
+        self, name: str, handler: ServiceHandler, work_units: float = 1000.0
+    ) -> None:
+        """Offer a CS service: ``handler(args, host) -> (result, size)``.
+
+        ``work_units`` is the modelled CPU cost of serving one request.
+        """
+        if name in self.services:
+            raise MiddlewareError(f"service {name!r} already registered on {self.id}")
+        self.services[name] = (handler, work_units)
+
+    def unregister_service(self, name: str) -> None:
+        self.services.pop(name, None)
+
+    # -- messaging ----------------------------------------------------------------
+
+    def send(self, message: Message, reliable: bool = True) -> Process:
+        """Send a message, charging the battery for the radio bytes."""
+        if self.battery is not None:
+            self.battery.consume_radio(message.wire_size)
+        if reliable:
+            return self.world.transport.send_reliable(message)
+        return self.world.transport.send(message)
+
+    def request(
+        self, message: Message, timeout: float = 30.0
+    ) -> Generator:
+        """Send ``message`` and wait for its reply (generator helper).
+
+        Returns the reply :class:`Message`.  Raises
+        :class:`~repro.errors.Unreachable` /
+        :class:`~repro.errors.TransportTimeout` when the request cannot
+        be delivered, and :class:`~repro.errors.RequestTimeout` when no
+        reply arrives within ``timeout``.
+        """
+        reply_event = self.env.event()
+        self._pending[message.id] = reply_event
+        try:
+            yield self.send(message)
+        except (Unreachable, TransportTimeout):
+            self._pending.pop(message.id, None)
+            raise
+        timeout_event = self.env.timeout(timeout)
+        fired = yield self.env.any_of([reply_event, timeout_event])
+        self._pending.pop(message.id, None)
+        if reply_event in fired:
+            return reply_event.value
+        raise RequestTimeout(
+            f"{self.id}: no reply to {message.kind} #{message.id} from "
+            f"{message.destination} within {timeout}s"
+        )
+
+    def reply_to(
+        self, request: Message, kind: str, payload: object = None, size_bytes: int = 0
+    ) -> Process:
+        """Send a correlated reply to ``request``."""
+        return self.send(request.reply(kind, payload=payload, size_bytes=size_bytes))
+
+    # -- execution ------------------------------------------------------------------
+
+    def execute(self, work_units: float) -> Generator:
+        """Simulate local computation of ``work_units`` (generator helper).
+
+        Yields the CPU time scaled by this node's speed and charges the
+        battery; returns the elapsed seconds.
+        """
+        if work_units < 0:
+            raise ValueError("negative work")
+        seconds = work_units / (WORK_UNITS_PER_SECOND * self.node.cpu_speed)
+        yield self.env.timeout(seconds)
+        if self.battery is not None:
+            self.battery.consume_cpu(seconds)
+        return seconds
+
+    def execution_context(
+        self, principal: str, services: Optional[Dict[str, object]] = None
+    ) -> ExecutionContext:
+        """A sandbox context carrying this host's policy budgets."""
+        return ExecutionContext(
+            host_id=self.id,
+            principal=principal,
+            work_budget=self.policy.guest_work_budget,
+            storage_budget_bytes=self.policy.guest_storage_bytes,
+            services=services,
+        )
+
+    # -- capsule security gate ----------------------------------------------------
+
+    def admit_capsule(
+        self, capsule: Capsule, operation: str
+    ) -> Generator:
+        """Police an inbound capsule (generator helper).
+
+        Checks the operation against the policy and, when signatures
+        are required, verifies the capsule (simulating the CPU cost).
+        Returns the verified principal (or the manifest sender under an
+        open policy).  Raises ``PolicyViolation`` / ``SignatureInvalid``
+        / ``UntrustedPrincipal``.
+        """
+        principal = capsule.manifest.sender
+        if self.policy.require_signatures:
+            principal = verify_capsule(self.truststore, capsule)
+            delay = capsule_verification_delay(capsule)
+            yield from self.execute(
+                delay * WORK_UNITS_PER_SECOND
+            )
+        self.policy.check(operation, principal)
+        return principal
+
+    # -- dispatch -------------------------------------------------------------------
+
+    def _dispatch_loop(self) -> Generator:
+        while True:
+            message = yield self.node.inbox.get()
+            if not self.node.up:
+                continue
+            if (
+                message.in_reply_to is not None
+                and message.in_reply_to in self._pending
+            ):
+                event = self._pending.pop(message.in_reply_to)
+                event.succeed(message)
+                continue
+            if message.kind == "net.relay":
+                continue  # router plumbing that lost its reclaim race
+            handler = self._handlers.get(message.kind)
+            if handler is None:
+                self.unhandled_messages += 1
+                self.world.trace.emit(
+                    self.env.now, self.id, "host.unhandled", msg=message.kind
+                )
+                continue
+            self.env.process(
+                self._guarded(handler, message),
+                name=f"{self.id}:{message.kind}#{message.id}",
+            )
+
+    def _guarded(self, handler: MessageHandler, message: Message) -> Generator:
+        """Run a handler, containing its failures (they are traced)."""
+        try:
+            yield from handler(message)
+        except SecurityError as error:
+            self.rejected_capsules += 1
+            self.world.trace.emit(
+                self.env.now,
+                self.id,
+                "host.capsule_rejected",
+                msg=message.kind,
+                error=str(error),
+            )
+        except MiddlewareError as error:
+            self.world.trace.emit(
+                self.env.now,
+                self.id,
+                "host.handler_error",
+                msg=message.kind,
+                error=str(error),
+            )
+        except (Unreachable, TransportTimeout) as error:
+            self.world.trace.emit(
+                self.env.now,
+                self.id,
+                "host.handler_netfail",
+                msg=message.kind,
+                error=str(error),
+            )

@@ -1,0 +1,252 @@
+"""Jini-style centralised lookup service (the baseline discovery).
+
+"Jini provides a centralised framework, which requires lookup services,
+functioning as indexes of services offered, to operate."  The server
+holds leased registrations on a fixed host; clients register (and renew
+leases) and query it by unicast.  When the server is unreachable —
+exactly the ad-hoc situation the paper highlights — everything fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional
+
+from ..errors import RequestTimeout, ServiceNotFound, TransportTimeout, Unreachable
+from ..net import Message
+from .components import Component, MessageHandler
+from .services import ServiceDescription
+
+KIND_REGISTER = "lookup.register"
+KIND_RENEW = "lookup.renew"
+KIND_WITHDRAW = "lookup.withdraw"
+KIND_QUERY = "lookup.query"
+KIND_REPLY = "lookup.reply"
+KIND_ACK = "lookup.ack"
+
+
+@dataclass
+class Registration:
+    description: ServiceDescription
+    expires_at: float
+
+
+class LookupServer(Component):
+    """The index: leased service registrations on a fixed host."""
+
+    kind = "lookup-server"
+    code_size = 7_000
+
+    def __init__(self, lease_duration: float = 30.0, sweep_interval: float = 5.0) -> None:
+        super().__init__()
+        if lease_duration <= 0 or sweep_interval <= 0:
+            raise ValueError("durations must be positive")
+        self.lease_duration = lease_duration
+        self.sweep_interval = sweep_interval
+        self.registrations: Dict[str, Registration] = {}
+
+    def start(self) -> None:
+        super().start()
+        self.env.process(
+            self._sweep_loop(), name=f"lookup-sweep:{self.require_host().id}"
+        )
+
+    def handlers(self) -> Dict[str, MessageHandler]:
+        return {
+            KIND_REGISTER: self._handle_register,
+            KIND_RENEW: self._handle_renew,
+            KIND_WITHDRAW: self._handle_withdraw,
+            KIND_QUERY: self._handle_query,
+        }
+
+    def _handle_register(self, message: Message) -> Generator:
+        host = self.require_host()
+        description: ServiceDescription = (message.payload or {})["service"]
+        self.registrations[description.key] = Registration(
+            description=description,
+            expires_at=self.env.now + self.lease_duration,
+        )
+        host.world.metrics.counter("lookup.registrations").increment()
+        yield host.reply_to(
+            message,
+            KIND_ACK,
+            payload={"lease": self.lease_duration, "key": description.key},
+            size_bytes=32,
+        )
+
+    def _handle_renew(self, message: Message) -> Generator:
+        host = self.require_host()
+        key = (message.payload or {}).get("key")
+        registration = self.registrations.get(key)
+        renewed = False
+        if registration is not None:
+            registration.expires_at = self.env.now + self.lease_duration
+            renewed = True
+        yield host.reply_to(
+            message,
+            KIND_ACK,
+            payload={"renewed": renewed, "lease": self.lease_duration},
+            size_bytes=32,
+        )
+
+    def _handle_withdraw(self, message: Message) -> Generator:
+        host = self.require_host()
+        key = (message.payload or {}).get("key")
+        self.registrations.pop(key, None)
+        yield host.reply_to(message, KIND_ACK, payload={"removed": True}, size_bytes=32)
+
+    def _handle_query(self, message: Message) -> Generator:
+        host = self.require_host()
+        payload = message.payload or {}
+        matches = [
+            registration.description
+            for registration in self.registrations.values()
+            if registration.description.matches(
+                payload.get("service_type", ""), payload.get("attributes")
+            )
+        ]
+        host.world.metrics.counter("lookup.queries").increment()
+        yield host.reply_to(
+            message,
+            KIND_REPLY,
+            payload={"services": matches},
+            size_bytes=sum(m.size_bytes for m in matches) + 32,
+        )
+
+    def _sweep_loop(self) -> Generator:
+        while self.started:
+            now = self.env.now
+            expired = [
+                key
+                for key, registration in self.registrations.items()
+                if registration.expires_at <= now
+            ]
+            for key in expired:
+                del self.registrations[key]
+            yield self.env.timeout(self.sweep_interval)
+
+
+class LookupClient(Component):
+    """Registers with — and queries — one :class:`LookupServer`."""
+
+    kind = "lookup-client"
+    code_size = 4_000
+
+    def __init__(self, server_id: str, request_timeout: float = 10.0) -> None:
+        super().__init__()
+        self.server_id = server_id
+        self.request_timeout = request_timeout
+        self._registered: Dict[str, ServiceDescription] = {}
+        self._renewers: Dict[str, object] = {}
+
+    def handlers(self) -> Dict[str, MessageHandler]:
+        return {}
+
+    def register(self, description: ServiceDescription) -> Generator:
+        """Register a service and keep its lease renewed (generator).
+
+        Returns the granted lease duration.  Raises the transport
+        errors when the server is unreachable.
+        """
+        host = self.require_host()
+        message = Message(
+            source=host.id,
+            destination=self.server_id,
+            kind=KIND_REGISTER,
+            payload={"service": description},
+            size_bytes=description.size_bytes,
+        )
+        reply = yield from host.request(message, timeout=self.request_timeout)
+        lease = float((reply.payload or {}).get("lease", 30.0))
+        self._registered[description.key] = description
+        self._renewers[description.key] = self.env.process(
+            self._renew_loop(description.key, lease),
+            name=f"lease-renew:{description.key}",
+        )
+        return lease
+
+    def withdraw(self, key: str) -> Generator:
+        host = self.require_host()
+        self._registered.pop(key, None)
+        message = Message(
+            source=host.id,
+            destination=self.server_id,
+            kind=KIND_WITHDRAW,
+            payload={"key": key},
+            size_bytes=64,
+        )
+        yield from host.request(message, timeout=self.request_timeout)
+
+    def find(
+        self,
+        service_type: str,
+        attributes: Optional[Dict[str, str]] = None,
+    ) -> Generator:
+        """Query the lookup server (generator helper).
+
+        Returns matching descriptions; raises :class:`ServiceNotFound`
+        wrapping the cause when the server cannot be reached — the
+        failure mode the paper attributes to centralised discovery.
+        """
+        host = self.require_host()
+        message = Message(
+            source=host.id,
+            destination=self.server_id,
+            kind=KIND_QUERY,
+            payload={
+                "service_type": service_type,
+                "attributes": dict(attributes or {}),
+            },
+            size_bytes=96,
+        )
+        try:
+            reply = yield from host.request(message, timeout=self.request_timeout)
+        except (Unreachable, TransportTimeout, RequestTimeout) as error:
+            raise ServiceNotFound(
+                f"lookup server {self.server_id} unreachable: "
+                f"{type(error).__name__}"
+            ) from error
+        return (reply.payload or {}).get("services", [])
+
+    def _renew_loop(self, key: str, lease: float) -> Generator:
+        host = self.require_host()
+        while key in self._registered and self.started:
+            yield self.env.timeout(lease / 2.0)
+            if key not in self._registered:
+                return
+            message = Message(
+                source=host.id,
+                destination=self.server_id,
+                kind=KIND_RENEW,
+                payload={"key": key},
+                size_bytes=64,
+            )
+            try:
+                reply = yield from host.request(
+                    message, timeout=self.request_timeout
+                )
+            except (Unreachable, TransportTimeout, RequestTimeout):
+                # Keep trying; the lease may lapse at the server meanwhile.
+                continue
+            if not (reply.payload or {}).get("renewed", False):
+                # Lease lapsed (e.g. during a partition, or the server
+                # restarted empty): self-heal by re-registering.
+                description = self._registered.get(key)
+                if description is None:
+                    return
+                register = Message(
+                    source=host.id,
+                    destination=self.server_id,
+                    kind=KIND_REGISTER,
+                    payload={"service": description},
+                    size_bytes=description.size_bytes,
+                )
+                try:
+                    yield from host.request(
+                        register, timeout=self.request_timeout
+                    )
+                    host.world.metrics.counter(
+                        "lookup.reregistrations"
+                    ).increment()
+                except (Unreachable, TransportTimeout, RequestTimeout):
+                    continue

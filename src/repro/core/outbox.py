@@ -1,0 +1,169 @@
+"""Disconnected operation: queued remote calls that flush on reconnect.
+
+Mobile devices are offline more than online; applications should not
+have to poll for connectivity.  The :class:`Outbox` component accepts
+CS calls at any time, queues them while the target is unreachable, and
+flushes the queue in order whenever connectivity returns.  Each entry
+resolves a kernel event the application can await (or ignore —
+fire-and-forget works too).
+
+Semantics are at-least-once per entry with bounded retries; entries
+expire after their TTL so a dead server cannot grow the queue forever.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Generator, List, Optional
+
+from ..errors import (
+    MiddlewareError,
+    RemoteExecutionError,
+    RequestTimeout,
+    ServiceNotFound,
+    TransportTimeout,
+    Unreachable,
+)
+from ..sim import Event
+from .components import Component
+
+_entry_ids = itertools.count(1)
+
+
+@dataclass
+class OutboxEntry:
+    """One queued remote call."""
+
+    entry_id: int
+    server_id: str
+    service: str
+    args: object
+    expires_at: float
+    completion: Event
+    attempts: int = 0
+
+    @property
+    def done(self) -> bool:
+        return self.completion.triggered
+
+
+class Outbox(Component):
+    """Store-and-forward CS calls for intermittently connected devices."""
+
+    kind = "outbox"
+    code_size = 4_000
+
+    def __init__(
+        self,
+        flush_interval: float = 2.0,
+        default_ttl: float = 600.0,
+        max_attempts_per_entry: int = 10,
+    ) -> None:
+        super().__init__()
+        if flush_interval <= 0:
+            raise ValueError("flush_interval must be positive")
+        self.flush_interval = flush_interval
+        self.default_ttl = default_ttl
+        self.max_attempts_per_entry = max_attempts_per_entry
+        self.queue: List[OutboxEntry] = []
+        self.delivered = 0
+        self.expired = 0
+
+    def start(self) -> None:
+        super().start()
+        self.env.process(
+            self._flush_loop(), name=f"outbox:{self.require_host().id}"
+        )
+
+    # -- application API -----------------------------------------------------------
+
+    def call_eventually(
+        self,
+        server_id: str,
+        service: str,
+        args: object = None,
+        ttl: Optional[float] = None,
+    ) -> Event:
+        """Queue a call; returns an event resolving with the result.
+
+        The event *fails* with the underlying error when the entry
+        expires or the remote call itself errors, so awaiting callers
+        see exactly what a direct call would have raised.  Ignoring the
+        event is safe: expiry failures are pre-defused.
+        """
+        host = self.require_host()
+        entry = OutboxEntry(
+            entry_id=next(_entry_ids),
+            server_id=server_id,
+            service=service,
+            args=args,
+            expires_at=self.env.now + (ttl if ttl is not None else self.default_ttl),
+            completion=Event(host.env),
+        )
+        self.queue.append(entry)
+        host.world.metrics.counter("outbox.queued").increment()
+        return entry.completion
+
+    @property
+    def pending(self) -> int:
+        return len(self.queue)
+
+    def flush_now(self) -> Generator:
+        """Attempt every queued entry once, in order (generator helper)."""
+        host = self.require_host()
+        remaining: List[OutboxEntry] = []
+        for entry in self.queue:
+            if entry.done:
+                continue
+            if self.env.now >= entry.expires_at:
+                self._expire(entry)
+                continue
+            if not host.world.network.connected(host.id, entry.server_id):
+                remaining.append(entry)
+                continue
+            entry.attempts += 1
+            try:
+                result = yield from host.component("cs").call(
+                    entry.server_id, entry.service, entry.args, timeout=15.0
+                )
+            except (Unreachable, TransportTimeout, RequestTimeout):
+                if entry.attempts >= self.max_attempts_per_entry:
+                    self._expire(entry)
+                else:
+                    remaining.append(entry)
+                continue
+            except (ServiceNotFound, RemoteExecutionError) as error:
+                # The server answered: a definitive failure, not a retry.
+                entry.completion.fail(error)
+                # Pre-defused: fire-and-forget callers never consume it;
+                # awaiting callers still see the exception re-raised.
+                entry.completion._defused = True
+                continue
+            entry.completion.succeed(result)
+            self.delivered += 1
+            host.world.metrics.counter("outbox.delivered").increment()
+        # Preserve order for entries queued while flushing.
+        self.queue = remaining + [
+            entry
+            for entry in self.queue
+            if entry not in remaining and not entry.done
+        ]
+
+    def _expire(self, entry: OutboxEntry) -> None:
+        self.expired += 1
+        self.require_host().world.metrics.counter("outbox.expired").increment()
+        failure = MiddlewareError(
+            f"outbox entry #{entry.entry_id} ({entry.service} @ "
+            f"{entry.server_id}) expired after {entry.attempts} attempts"
+        )
+        entry.completion.fail(failure)
+        # Fire-and-forget callers never look at the event; keep the
+        # kernel from treating that as an unhandled failure.
+        entry.completion._defused = True
+
+    def _flush_loop(self) -> Generator:
+        while self.started:
+            if self.require_host().node.up and self.queue:
+                yield from self.flush_now()
+            yield self.env.timeout(self.flush_interval)

@@ -1,0 +1,133 @@
+"""Context-aware prefetching of code units.
+
+A corollary of the paper's COD + context-awareness story: when the
+device sits on a *free* link (home hotspot, office LAN), the middleware
+can pull popular units ahead of need, so later — out on the metered
+GPRS link — the capability is already local.  The :class:`Prefetcher`
+watches the link towards its repository host and opportunistically
+fetches from a popularity-ranked wishlist, respecting a storage budget
+fraction so prefetching never starves demand fetching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional, Sequence
+
+from ..errors import QuotaExceeded, RequestTimeout, TransportTimeout, UnitNotFound, Unreachable
+from .host import MobileHost
+
+
+@dataclass(frozen=True)
+class PrefetchItem:
+    """A unit worth having, with its expected popularity weight."""
+
+    unit_name: str
+    weight: float
+
+
+class Prefetcher:
+    """Opportunistically fetches wishlist units over free links.
+
+    ``budget_fraction`` caps how much of the codebase quota prefetched
+    (unpinned) content may occupy.  ``check_interval`` is how often the
+    link is re-examined.
+    """
+
+    def __init__(
+        self,
+        host: MobileHost,
+        repository_host: str,
+        wishlist: Sequence[PrefetchItem] = (),
+        budget_fraction: float = 0.5,
+        check_interval: float = 5.0,
+        autostart: bool = True,
+    ) -> None:
+        if not 0.0 < budget_fraction <= 1.0:
+            raise ValueError("budget_fraction must be in (0, 1]")
+        if check_interval <= 0:
+            raise ValueError("check_interval must be positive")
+        self.host = host
+        self.repository_host = repository_host
+        self.wishlist: List[PrefetchItem] = sorted(
+            wishlist, key=lambda item: (-item.weight, item.unit_name)
+        )
+        self.budget_fraction = budget_fraction
+        self.check_interval = check_interval
+        self.prefetched: List[str] = []
+        self.skipped_budget = 0
+        if autostart:
+            host.env.process(self._loop(), name=f"prefetch:{host.id}")
+
+    # -- policy ----------------------------------------------------------------
+
+    def want(self, unit_name: str, weight: float = 1.0) -> None:
+        """Add (or re-rank) a wishlist entry."""
+        self.wishlist = sorted(
+            [item for item in self.wishlist if item.unit_name != unit_name]
+            + [PrefetchItem(unit_name, weight)],
+            key=lambda item: (-item.weight, item.unit_name),
+        )
+
+    def _free_link_available(self) -> bool:
+        network = self.host.world.network
+        if self.repository_host not in network:
+            return False
+        peer = network.node(self.repository_host)
+        return any(
+            link.is_free
+            for link in network.links_between(self.host.node, peer)
+        )
+
+    def _within_budget(self) -> bool:
+        quota = self.host.codebase.quota_bytes
+        if quota == float("inf"):
+            return True
+        return self.host.codebase.used_bytes < quota * self.budget_fraction
+
+    def _next_candidate(self) -> Optional[PrefetchItem]:
+        for item in self.wishlist:
+            if item.unit_name not in self.host.codebase:
+                return item
+        return None
+
+    # -- the work --------------------------------------------------------------
+
+    def prefetch_round(self) -> Generator:
+        """Fetch at most one missing wishlist unit (generator helper).
+
+        Returns the unit name fetched, or None (no candidate, no free
+        link, or budget reached).
+        """
+        if not self._free_link_available():
+            return None
+        candidate = self._next_candidate()
+        if candidate is None:
+            return None
+        if not self._within_budget():
+            self.skipped_budget += 1
+            return None
+        cod = self.host.component("cod")
+        try:
+            yield from cod.fetch(
+                self.repository_host, [candidate.unit_name], install=True
+            )
+        except (UnitNotFound, QuotaExceeded):
+            # Unfetchable or unfittable: stop wanting it.
+            self.wishlist = [
+                item
+                for item in self.wishlist
+                if item.unit_name != candidate.unit_name
+            ]
+            return None
+        except (Unreachable, TransportTimeout, RequestTimeout):
+            return None  # link flapped; try again next round
+        self.prefetched.append(candidate.unit_name)
+        self.host.world.metrics.counter("prefetch.fetched").increment()
+        return candidate.unit_name
+
+    def _loop(self) -> Generator:
+        while True:
+            if self.host.node.up:
+                yield from self.prefetch_round()
+            yield self.host.env.timeout(self.check_interval)

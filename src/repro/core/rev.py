@@ -1,0 +1,126 @@
+"""Remote EValuation: ship code to where the cycles are.
+
+"A device can send code to another host, have it executed and retrieve
+the result" — the paper's answer to limited device CPU: REV-ship a
+work capsule to a powerful fixed host and wait for the (small) result
+instead of grinding locally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Sequence
+
+from ..errors import RemoteExecutionError, UnitNotFound
+from ..lmu import DataUnit, Requirement, build_capsule, estimate_size
+from ..net import Message
+from ..security import (
+    OP_ACCEPT_REV,
+    WORK_UNITS_PER_SECOND,
+    sign_capsule,
+)
+from .components import Component, MessageHandler
+
+KIND_REQUEST = "rev.request"
+KIND_REPLY = "rev.reply"
+
+
+class RemoteEvaluation(Component):
+    """Ship a code capsule for execution elsewhere; get the result back."""
+
+    kind = "rev"
+    code_size = 6_000
+
+    def handlers(self) -> Dict[str, MessageHandler]:
+        return {KIND_REQUEST: self._handle_request}
+
+    # -- client side -------------------------------------------------------------
+
+    def evaluate(
+        self,
+        target_id: str,
+        roots: Sequence[str],
+        args: Sequence[object] = (),
+        data_units: Sequence[DataUnit] = (),
+        timeout: float = 120.0,
+    ) -> Generator:
+        """Evaluate local unit ``roots[0]`` on ``target_id`` (generator).
+
+        The capsule carries the dependency closure of ``roots`` from
+        this host's codebase plus any ``data_units``.  Returns the
+        remote result value; raises :class:`RemoteExecutionError` when
+        the remote run failed (the remote error text is attached).
+        """
+        host = self.require_host()
+
+        def resolve(requirement: Requirement):
+            unit = host.codebase.get(requirement.name)
+            if not requirement.satisfied_by(unit):
+                raise UnitNotFound(
+                    f"installed {unit.qualified_name} does not satisfy "
+                    f"{requirement}"
+                )
+            return unit
+
+        capsule = build_capsule(
+            sender=host.id,
+            purpose="rev-request",
+            roots=list(roots),
+            resolve=resolve,
+            data_units=data_units,
+            built_at=self.env.now,
+        )
+        sign_seconds = sign_capsule(host.keypair, capsule)
+        yield from host.execute(sign_seconds * WORK_UNITS_PER_SECOND)
+        message = Message(
+            source=host.id,
+            destination=target_id,
+            kind=KIND_REQUEST,
+            payload={
+                "capsule": capsule,
+                "entry": capsule.code_unit(
+                    Requirement.parse(roots[0]).name
+                ).name,
+                "args": tuple(args),
+            },
+            size_bytes=capsule.size_bytes,
+        )
+        host.world.metrics.counter("rev.requests").increment()
+        reply = yield from host.request(message, timeout=timeout)
+        outcome = reply.payload or {}
+        if not outcome.get("ok"):
+            raise RemoteExecutionError(
+                f"REV of {roots[0]} on {target_id} failed",
+                remote_error=str(outcome.get("error", "")),
+            )
+        return outcome.get("value")
+
+    # -- server side ----------------------------------------------------------------
+
+    def _handle_request(self, message: Message) -> Generator:
+        host = self.require_host()
+        payload = message.payload or {}
+        capsule = payload["capsule"]
+        principal = yield from host.admit_capsule(capsule, OP_ACCEPT_REV)
+        entry_unit = capsule.code_unit(payload["entry"])
+        data = {unit.name: unit.payload for unit in capsule.data_units}
+        context = host.execution_context(
+            principal,
+            services={"data": data, "host_id": host.id},
+        )
+        result = host.sandbox.run(
+            entry_unit.instantiate(), context, *payload.get("args", ())
+        )
+        # The guest's metered work happens at *this* host's speed.
+        yield from host.execute(result.work_used)
+        host.world.metrics.counter("rev.served").increment()
+        outcome = {
+            "ok": result.ok,
+            "value": result.value if result.ok else None,
+            "error": result.error,
+        }
+        yield host.reply_to(
+            message,
+            KIND_REPLY,
+            payload=outcome,
+            size_bytes=estimate_size(outcome["value"]) + 32,
+        )

@@ -1,0 +1,74 @@
+"""Service descriptions: what discovery and lookup traffic in.
+
+A :class:`ServiceDescription` names a typed service offered by a host.
+Following Jini's design — which the cinema scenario borrows — a
+description may name a *proxy unit*: a code unit the client must COD-
+fetch before it can use the service (a driver, a user interface, a
+protocol stub).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..lmu.serializer import estimate_size
+
+
+@dataclass(frozen=True)
+class ServiceDescription:
+    """An advertisable service."""
+
+    service_type: str  #: e.g. "printer", "ticketing", "compute"
+    provider: str  #: host id offering the service
+    name: str  #: provider-unique instance name, e.g. "lobby-printer"
+    attributes: Tuple[Tuple[str, str], ...] = ()
+    #: Code unit the client needs before invoking (Jini-style proxy).
+    proxy_unit: Optional[str] = None
+
+    @property
+    def size_bytes(self) -> int:
+        """Modelled advertisement size on the wire."""
+        return 96 + estimate_size(dict(self.attributes))
+
+    def attribute(self, key: str, default: str = "") -> str:
+        for name, value in self.attributes:
+            if name == key:
+                return value
+        return default
+
+    def matches(self, service_type: str, attributes: Optional[Dict[str, str]] = None) -> bool:
+        """Type equality plus (optional) attribute subset matching."""
+        if self.service_type != service_type:
+            return False
+        if attributes:
+            mine = dict(self.attributes)
+            for key, value in attributes.items():
+                if mine.get(key) != value:
+                    return False
+        return True
+
+    @property
+    def key(self) -> str:
+        """Registry key: provider-scoped instance identity."""
+        return f"{self.provider}/{self.service_type}/{self.name}"
+
+    def __repr__(self) -> str:
+        return f"<Service {self.key}>"
+
+
+def service(
+    service_type: str,
+    provider: str,
+    name: str,
+    attributes: Optional[Dict[str, str]] = None,
+    proxy_unit: Optional[str] = None,
+) -> ServiceDescription:
+    """Convenience constructor taking a plain attribute dict."""
+    return ServiceDescription(
+        service_type=service_type,
+        provider=provider,
+        name=name,
+        attributes=tuple(sorted((attributes or {}).items())),
+        proxy_unit=proxy_unit,
+    )

@@ -1,0 +1,211 @@
+"""Dynamic middleware self-update via COD.
+
+"Next generation middleware should be able to … use COD techniques to
+dynamically update itself."  The :class:`UpdateManager` hot-swaps one
+component at a time: fetch the new component's unit via COD, stop and
+detach the old component, construct and attach the new one.  The only
+service gap is the swap window itself (messages to the component's
+kinds during that window count as lost).  The baseline — a full
+reinstall — stops *everything*, fetches the whole stack, and restarts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional
+
+from ..errors import ComponentError, UnitNotFound
+from ..security import OP_UPDATE_MIDDLEWARE
+from .components import Component
+
+#: Components that must not be removed mid-update.
+_ESSENTIAL = {"cod", "update"}
+
+
+@dataclass
+class UpdateReport:
+    """What one update cost."""
+
+    strategy: str  #: "hot-swap" or "reinstall"
+    component: str
+    bytes_transferred: int
+    downtime_s: float
+    requests_lost: int
+    old_version: Optional[str]
+    new_version: str
+
+
+class UpdateManager(Component):
+    """Hot-swaps middleware components fetched over COD."""
+
+    kind = "update"
+    code_size = 5_000
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.history: List[UpdateReport] = []
+
+    def hot_swap(
+        self, component_kind: str, provider_id: str, unit_name: str
+    ) -> Generator:
+        """Replace ``component_kind`` with the unit ``unit_name`` fetched
+        from ``provider_id`` (generator helper).  Returns an
+        :class:`UpdateReport`.
+
+        The fetch happens *while the old component still runs*; only
+        the detach/attach window interrupts service.
+        """
+        host = self.require_host()
+        host.policy.check(OP_UPDATE_MIDDLEWARE, provider_id)
+        old = host.component(component_kind)
+        old_version = str(old.version)
+        cod = host.component("cod")
+        capsule = yield from cod.fetch(
+            provider_id, [unit_name], install=True, pinned=True
+        )
+        unit = capsule.code_unit(unit_name)
+        component_class = unit.instantiate()
+        replacement = component_class()
+        if replacement.kind != component_kind:
+            raise ComponentError(
+                f"unit {unit_name} builds a {replacement.kind!r} component, "
+                f"not {component_kind!r}"
+            )
+        # --- the swap window: service to this component is interrupted ---
+        swap_started = self.env.now
+        lost_before = host.unhandled_messages
+        host.remove_component(component_kind)
+        # Modelled install/initialisation work for the new component.
+        yield from host.execute(unit.size_bytes * 0.1)
+        host.add_component(replacement)
+        downtime = self.env.now - swap_started
+        requests_lost = host.unhandled_messages - lost_before
+        report = UpdateReport(
+            strategy="hot-swap",
+            component=component_kind,
+            bytes_transferred=capsule.size_bytes,
+            downtime_s=downtime,
+            requests_lost=requests_lost,
+            old_version=old_version,
+            new_version=str(replacement.version),
+        )
+        self.history.append(report)
+        host.world.metrics.counter("update.hot_swaps").increment()
+        host.world.trace.emit(
+            self.env.now, host.id, "update.hot_swap",
+            component=component_kind,
+            downtime=f"{downtime:.3f}",
+        )
+        return report
+
+    def install_component(
+        self, provider_id: str, unit_name: str
+    ) -> Generator:
+        """Plug in a component this host does not yet have, via COD.
+
+        The paper's "different mobile code paradigms could be plugged-in
+        dynamically and used when needed": a minimal host can acquire,
+        say, the agent runtime the first time something needs it.
+        Returns the newly attached :class:`Component`.  Raises
+        :class:`ComponentError` if a component of that kind is already
+        installed (use :meth:`hot_swap` for replacements).
+        """
+        host = self.require_host()
+        host.policy.check(OP_UPDATE_MIDDLEWARE, provider_id)
+        cod = host.component("cod")
+        capsule = yield from cod.fetch(
+            provider_id, [unit_name], install=True, pinned=True
+        )
+        try:
+            unit = capsule.code_unit(unit_name)
+        except UnitNotFound:
+            # Differential fetch: the unit was already installed locally.
+            unit = host.codebase.get(unit_name)
+        component_class = unit.instantiate()
+        component = component_class()
+        if component.kind in host.components:
+            raise ComponentError(
+                f"host {host.id} already has a {component.kind!r} component;"
+                " use hot_swap"
+            )
+        yield from host.execute(unit.size_bytes * 0.1)
+        host.add_component(component)
+        host.world.metrics.counter("update.plugins").increment()
+        host.world.trace.emit(
+            self.env.now, host.id, "update.plugin", component=component.kind
+        )
+        return component
+
+    def full_reinstall(
+        self,
+        provider_id: str,
+        unit_names: Dict[str, str],
+    ) -> Generator:
+        """The traditional alternative: stop the whole middleware, fetch
+        every component, reinstall, restart (generator helper).
+
+        ``unit_names`` maps component kind -> repository unit name.
+        Returns a combined :class:`UpdateReport` (component ``"*"``).
+        """
+        host = self.require_host()
+        host.policy.check(OP_UPDATE_MIDDLEWARE, provider_id)
+        cod = host.component("cod")
+        swap_started = self.env.now
+        lost_before = host.unhandled_messages
+        # Everything except COD (needed to fetch) and this manager stops.
+        stopped: List[Component] = []
+        for kind in list(host.components):
+            if kind in _ESSENTIAL:
+                continue
+            stopped.append(host.remove_component(kind))
+        total_bytes = 0
+        replacements: List[Component] = []
+        for kind, unit_name in sorted(unit_names.items()):
+            if kind in _ESSENTIAL:
+                continue
+            capsule = yield from cod.fetch(
+                provider_id, [unit_name], install=True, pinned=True
+            )
+            total_bytes += capsule.size_bytes
+            unit = capsule.code_unit(unit_name)
+            component_class = unit.instantiate()
+            replacement = component_class()
+            yield from host.execute(unit.size_bytes * 0.1)
+            replacements.append(replacement)
+        for replacement in replacements:
+            host.add_component(replacement)
+        downtime = self.env.now - swap_started
+        requests_lost = host.unhandled_messages - lost_before
+        report = UpdateReport(
+            strategy="reinstall",
+            component="*",
+            bytes_transferred=total_bytes,
+            downtime_s=downtime,
+            requests_lost=requests_lost,
+            old_version=None,
+            new_version=",".join(
+                f"{component.kind}@{component.version}"
+                for component in replacements
+            ),
+        )
+        self.history.append(report)
+        host.world.metrics.counter("update.reinstalls").increment()
+        return report
+
+
+def component_unit(component_class, unit_name: Optional[str] = None, version: str = "1.1.0"):
+    """Package a component class as a publishable code unit.
+
+    The repository publishes these; :meth:`UpdateManager.hot_swap`
+    fetches and instantiates them.
+    """
+    from ..lmu import code_unit
+
+    instance = component_class()
+    return code_unit(
+        name=unit_name or f"component:{instance.kind}",
+        version=version,
+        factory=lambda: component_class,
+        size_bytes=instance.code_size,
+        description=component_class.__doc__ or "",
+    )

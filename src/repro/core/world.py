@@ -1,0 +1,90 @@
+"""The :class:`World`: shared plumbing of one simulated deployment.
+
+Every experiment builds one ``World`` (kernel, network, transport,
+random streams, trace, metrics) and then creates
+:class:`~repro.core.host.MobileHost` instances inside it.  Bundling
+these avoids threading six constructor arguments through every layer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..net import (
+    Network,
+    NetworkNode,
+    Position,
+    Transport,
+    LinkTechnology,
+)
+from ..sim import Environment, MetricsRegistry, RandomStreams, TraceLog
+
+
+class World:
+    """One simulated deployment: kernel + network + shared observability."""
+
+    def __init__(self, seed: int = 0, trace_enabled: bool = False) -> None:
+        self.env = Environment()
+        self.streams = RandomStreams(seed)
+        self.network = Network(self.env)
+        self.trace = TraceLog(enabled=trace_enabled)
+        self.metrics = MetricsRegistry()
+        self.transport = Transport(
+            self.env,
+            self.network,
+            self.streams,
+            trace=self.trace,
+            metrics=self.metrics,
+        )
+
+    @property
+    def now(self) -> float:
+        return self.env.now
+
+    def add_node(
+        self,
+        node_id: str,
+        position: Position = Position(0.0, 0.0),
+        technologies: Iterable[LinkTechnology] = (),
+        fixed: bool = False,
+        cpu_speed: float = 1.0,
+    ) -> NetworkNode:
+        """Create and register a bare network node."""
+        node = NetworkNode(
+            self.env,
+            node_id,
+            position=position,
+            technologies=technologies,
+            fixed=fixed,
+            cpu_speed=cpu_speed,
+        )
+        return self.network.add_node(node)
+
+    def run(self, until: Optional[object] = None) -> object:
+        """Run the simulation (delegates to the kernel environment)."""
+        return self.env.run(until=until)
+
+    def summary(self) -> dict:
+        """A flat snapshot of the deployment's key figures.
+
+        Combines the metric registry with per-fleet traffic and money
+        totals — what an experiment typically reports at the end.
+        """
+        from ..net import CostMeter
+
+        fleet = CostMeter()
+        for node in self.network.nodes.values():
+            node.settle_airtime()
+            fleet.merge(node.costs)
+        snapshot = dict(self.metrics.snapshot())
+        snapshot.update(
+            {
+                "world.now": self.env.now,
+                "world.nodes": float(len(self.network)),
+                "fleet.bytes_sent": float(fleet.total_bytes_sent),
+                "fleet.bytes_received": float(fleet.total_bytes_received),
+                "fleet.wireless_bytes": float(fleet.wireless_bytes()),
+                "fleet.money": fleet.money,
+            }
+        )
+        return snapshot

@@ -1,0 +1,164 @@
+"""Exception hierarchy shared by every subsystem of :mod:`repro`.
+
+Every error raised by this library derives from :class:`ReproError`, so
+applications can catch one base class.  Subsystems define their own
+narrower subclasses here (rather than in their own packages) so that the
+hierarchy can be inspected in one place and no import cycles arise
+between substrate packages.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the repro library."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation kernel
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the discrete-event kernel."""
+
+
+class StopSimulation(SimulationError):
+    """Raised internally to halt :meth:`Environment.run` at a target event."""
+
+    def __init__(self, value: object = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class EmptySchedule(SimulationError):
+    """The event queue ran dry before the requested stop condition."""
+
+
+class Interrupt(SimulationError):
+    """Thrown into a process that another process interrupted.
+
+    The interrupting party supplies ``cause``; the interrupted generator
+    receives this exception at its current yield point.
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> object:
+        """The value passed to :meth:`Process.interrupt`."""
+        return self.args[0]
+
+
+# ---------------------------------------------------------------------------
+# Network substrate
+# ---------------------------------------------------------------------------
+
+
+class NetworkError(ReproError):
+    """Base class for network-substrate failures."""
+
+
+class Unreachable(NetworkError):
+    """No usable link currently exists towards the destination."""
+
+
+class TransportTimeout(NetworkError):
+    """A reliable-delivery attempt exhausted its retry/time budget."""
+
+
+class MessageTooLarge(NetworkError):
+    """Payload exceeds the interface's maximum transfer size."""
+
+
+# ---------------------------------------------------------------------------
+# Logical mobility units
+# ---------------------------------------------------------------------------
+
+
+class CodebaseError(ReproError):
+    """Base class for codebase / LMU packaging failures."""
+
+
+class UnitNotFound(CodebaseError):
+    """The requested code or data unit is not present in the codebase."""
+
+
+class VersionConflict(CodebaseError):
+    """An installation would clash with an incompatible installed version."""
+
+
+class DependencyError(CodebaseError):
+    """Dependency closure could not be computed (missing or cyclic)."""
+
+
+class QuotaExceeded(CodebaseError):
+    """Installing a unit would exceed the host's storage quota."""
+
+
+# ---------------------------------------------------------------------------
+# Security
+# ---------------------------------------------------------------------------
+
+
+class SecurityError(ReproError):
+    """Base class for security-layer failures."""
+
+
+class SignatureInvalid(SecurityError):
+    """A capsule's signature does not verify against its contents."""
+
+
+class UntrustedPrincipal(SecurityError):
+    """The signer is not present in the verifier's trust store."""
+
+
+class PolicyViolation(SecurityError):
+    """The security policy forbids the attempted operation."""
+
+
+class SandboxViolation(SecurityError):
+    """Sandboxed code exceeded its resource budget or escaped its rights."""
+
+
+# ---------------------------------------------------------------------------
+# Middleware core
+# ---------------------------------------------------------------------------
+
+
+class MiddlewareError(ReproError):
+    """Base class for middleware-core failures."""
+
+
+class ServiceNotFound(MiddlewareError):
+    """Discovery produced no provider for the requested service type."""
+
+
+class RequestTimeout(MiddlewareError):
+    """A request/reply exchange received no answer within its deadline."""
+
+
+class RemoteExecutionError(MiddlewareError):
+    """A remotely evaluated unit raised; carries the remote traceback text."""
+
+    def __init__(self, message: str, remote_error: str = "") -> None:
+        super().__init__(message)
+        self.remote_error = remote_error
+
+
+class MigrationError(MiddlewareError):
+    """An agent migration failed (refused, unreachable, or lost)."""
+
+
+class ComponentError(MiddlewareError):
+    """A middleware component could not be installed, started, or swapped."""
+
+
+# ---------------------------------------------------------------------------
+# Tuple space
+# ---------------------------------------------------------------------------
+
+
+class TupleSpaceError(ReproError):
+    """Base class for tuple-space failures."""

@@ -1,0 +1,60 @@
+"""Logical mobility units: versioned code, capsules, codebases, repositories.
+
+This package is the Python stand-in for Java's classloading-based code
+mobility: units are named and versioned, dependencies are declared and
+closed over, bundles (capsules) move between hosts, and each host's
+local codebase enforces a storage quota with pluggable eviction.
+"""
+
+from .capsule import (
+    MANIFEST_BYTES,
+    MANIFEST_ENTRY_BYTES,
+    Capsule,
+    Manifest,
+    assemble_capsule,
+    build_capsule,
+    install_capsule,
+)
+from .codebase import (
+    Codebase,
+    EvictionPolicy,
+    dependency_closure,
+    largest_first_policy,
+    lfu_policy,
+    lru_policy,
+)
+from .repository import CodeRepository
+from .serializer import DEFAULT_OBJECT_BYTES, estimate_size
+from .units import (
+    CodeUnit,
+    DataUnit,
+    Requirement,
+    UnitStats,
+    Version,
+    code_unit,
+)
+
+__all__ = [
+    "Capsule",
+    "assemble_capsule",
+    "Codebase",
+    "CodeRepository",
+    "CodeUnit",
+    "DEFAULT_OBJECT_BYTES",
+    "DataUnit",
+    "EvictionPolicy",
+    "MANIFEST_BYTES",
+    "MANIFEST_ENTRY_BYTES",
+    "Manifest",
+    "Requirement",
+    "UnitStats",
+    "Version",
+    "build_capsule",
+    "code_unit",
+    "dependency_closure",
+    "estimate_size",
+    "install_capsule",
+    "largest_first_policy",
+    "lfu_policy",
+    "lru_policy",
+]

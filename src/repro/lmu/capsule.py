@@ -1,0 +1,218 @@
+"""Capsules: the unit of code/state transfer between hosts.
+
+A capsule is a dependency-closed bundle of code units plus optional
+data units, described by a manifest and optionally signed.  REV ships a
+capsule with the code to evaluate; COD answers with a capsule holding
+the requested units; an agent *is* a capsule of its code plus its
+serialised state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import DependencyError, UnitNotFound
+from .codebase import Codebase, dependency_closure
+from .serializer import estimate_size
+from .units import CodeUnit, DataUnit, Requirement
+
+#: Modelled size of the manifest envelope per capsule.
+MANIFEST_BYTES = 128
+#: Modelled extra bytes per unit listed in the manifest.
+MANIFEST_ENTRY_BYTES = 48
+
+_capsule_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """What a capsule claims to contain, and who built it."""
+
+    capsule_id: int
+    sender: str
+    code_names: Tuple[str, ...]
+    data_names: Tuple[str, ...]
+    built_at: float
+    purpose: str  #: "cod-reply", "rev-request", "agent", "update", ...
+
+    def digest_material(self) -> bytes:
+        """Canonical bytes the signature covers."""
+        body = "|".join(
+            (
+                str(self.capsule_id),
+                self.sender,
+                ",".join(self.code_names),
+                ",".join(self.data_names),
+                f"{self.built_at:.6f}",
+                self.purpose,
+            )
+        )
+        return body.encode("utf-8")
+
+
+@dataclass
+class Capsule:
+    """A transferable bundle of code and data units."""
+
+    manifest: Manifest
+    code_units: Tuple[CodeUnit, ...]
+    data_units: Tuple[DataUnit, ...] = ()
+    #: Signature envelope attached by the security layer (or None).
+    signature: Optional[object] = None
+    #: Set by tamper-injection tests/attacks; verification recomputes
+    #: digests over the *current* contents, so mutation breaks them.
+    _tampered: bool = field(default=False, repr=False)
+
+    @property
+    def size_bytes(self) -> int:
+        """Modelled wire footprint of the whole capsule."""
+        units_size = sum(unit.size_bytes for unit in self.code_units)
+        data_size = sum(unit.size_bytes for unit in self.data_units)
+        entries = len(self.code_units) + len(self.data_units)
+        signature_size = estimate_size(self.signature) if self.signature else 0
+        return (
+            MANIFEST_BYTES
+            + entries * MANIFEST_ENTRY_BYTES
+            + units_size
+            + data_size
+            + signature_size
+        )
+
+    def content_digest(self) -> str:
+        """Hash over manifest and contained unit identities/sizes.
+
+        This is the integrity anchor the signature covers: renaming,
+        reversioning, resizing, adding, or removing units changes it.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(self.manifest.digest_material())
+        for unit in self.code_units:
+            hasher.update(unit.qualified_name.encode("utf-8"))
+            hasher.update(str(unit.size_bytes).encode("utf-8"))
+        for data in self.data_units:
+            hasher.update(data.name.encode("utf-8"))
+            hasher.update(str(estimate_size(data.payload)).encode("utf-8"))
+        if self._tampered:
+            hasher.update(b"tampered")
+        return hasher.hexdigest()
+
+    def code_unit(self, name: str) -> CodeUnit:
+        for unit in self.code_units:
+            if unit.name == name:
+                return unit
+        raise UnitNotFound(f"capsule has no code unit {name!r}")
+
+    def data_unit(self, name: str) -> DataUnit:
+        for unit in self.data_units:
+            if unit.name == name:
+                return unit
+        raise UnitNotFound(f"capsule has no data unit {name!r}")
+
+    def tamper(self) -> None:
+        """Simulate in-flight modification (for security tests)."""
+        self._tampered = True
+
+    def __repr__(self) -> str:
+        return (
+            f"<Capsule #{self.manifest.capsule_id} {self.manifest.purpose} "
+            f"{len(self.code_units)}c/{len(self.data_units)}d "
+            f"{self.size_bytes}B>"
+        )
+
+
+def build_capsule(
+    sender: str,
+    purpose: str,
+    roots: Sequence[str],
+    resolve: Callable[[Requirement], CodeUnit],
+    data_units: Sequence[DataUnit] = (),
+    built_at: float = 0.0,
+    already_installed: Optional[Dict[str, object]] = None,
+) -> Capsule:
+    """Assemble a dependency-closed capsule for ``roots``.
+
+    ``already_installed`` maps unit name -> :class:`Version` the
+    receiver is known to hold (see :meth:`Codebase.inventory`); those
+    units are omitted when the held version is current (differential
+    shipping).
+    """
+    closure = dependency_closure(list(roots), resolve)
+    if already_installed is not None:
+        closure = [
+            unit
+            for unit in closure
+            if not (
+                unit.name in already_installed
+                and already_installed[unit.name] >= unit.version  # type: ignore[operator]
+            )
+        ]
+    manifest = Manifest(
+        capsule_id=next(_capsule_ids),
+        sender=sender,
+        code_names=tuple(unit.name for unit in closure),
+        data_names=tuple(data.name for data in data_units),
+        built_at=built_at,
+        purpose=purpose,
+    )
+    return Capsule(
+        manifest=manifest,
+        code_units=tuple(closure),
+        data_units=tuple(data_units),
+    )
+
+
+def assemble_capsule(
+    sender: str,
+    purpose: str,
+    code_units: Sequence[CodeUnit],
+    data_units: Sequence[DataUnit] = (),
+    built_at: float = 0.0,
+) -> Capsule:
+    """Wrap already-chosen units into a capsule (no dependency resolution).
+
+    Used where the caller owns the closure logic — notably agent
+    migration, where the capsule is exactly the agent's code unit plus
+    its serialised state.
+    """
+    manifest = Manifest(
+        capsule_id=next(_capsule_ids),
+        sender=sender,
+        code_names=tuple(unit.name for unit in code_units),
+        data_names=tuple(data.name for data in data_units),
+        built_at=built_at,
+        purpose=purpose,
+    )
+    return Capsule(
+        manifest=manifest,
+        code_units=tuple(code_units),
+        data_units=tuple(data_units),
+    )
+
+
+def install_capsule(capsule: Capsule, codebase: Codebase, pinned: bool = False) -> List[str]:
+    """Install every code unit of ``capsule`` into ``codebase``.
+
+    Units arrive dependency-first (the capsule builder ordered them);
+    returns the installed names.  Residual missing dependencies (e.g.
+    omitted by differential shipping but then evicted) raise
+    :class:`DependencyError` before anything is installed.
+    """
+    for unit in capsule.code_units:
+        for requirement in unit.requires:
+            in_capsule = any(
+                requirement.satisfied_by(candidate)
+                for candidate in capsule.code_units
+            )
+            if not in_capsule and not codebase.satisfies(requirement):
+                raise DependencyError(
+                    f"capsule unit {unit.qualified_name} needs {requirement}, "
+                    "which is neither in the capsule nor installed"
+                )
+    installed = []
+    for unit in capsule.code_units:
+        codebase.install(unit, pinned=pinned)
+        installed.append(unit.name)
+    return installed

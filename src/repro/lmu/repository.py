@@ -1,0 +1,103 @@
+"""Code repositories: catalogues that COD requests are answered from.
+
+A repository is the server-side store of publishable units — the
+"trusted third party (a centralised source)" of the paper's dynamic-
+update scenario, and equally the per-device catalogue a peer answers
+from "in an ad-hoc scenario".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import UnitNotFound
+from .units import CodeUnit, Requirement, Version
+
+
+class CodeRepository:
+    """A catalogue of code units, multiple versions per name."""
+
+    def __init__(self, name: str = "repository") -> None:
+        self.name = name
+        self._catalog: Dict[str, Dict[Version, CodeUnit]] = {}
+
+    def publish(self, unit: CodeUnit) -> None:
+        """Add (or replace) one unit version in the catalogue."""
+        self._catalog.setdefault(unit.name, {})[unit.version] = unit
+
+    def publish_all(self, units: List[CodeUnit]) -> None:
+        for unit in units:
+            self.publish(unit)
+
+    def withdraw(self, name: str, version: Optional[Version] = None) -> None:
+        """Remove a version (or every version) of ``name``."""
+        if name not in self._catalog:
+            raise UnitNotFound(f"repository has no unit {name!r}")
+        if version is None:
+            del self._catalog[name]
+            return
+        versions = self._catalog[name]
+        if version not in versions:
+            raise UnitNotFound(f"repository has no {name}@{version}")
+        del versions[version]
+        if not versions:
+            del self._catalog[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._catalog
+
+    def __len__(self) -> int:
+        return len(self._catalog)
+
+    def names(self) -> List[str]:
+        return sorted(self._catalog)
+
+    def versions_of(self, name: str) -> List[Version]:
+        if name not in self._catalog:
+            raise UnitNotFound(f"repository has no unit {name!r}")
+        return sorted(self._catalog[name])
+
+    def latest(self, name: str) -> CodeUnit:
+        """The newest published version of ``name``."""
+        versions = self._catalog.get(name)
+        if not versions:
+            raise UnitNotFound(f"repository has no unit {name!r}")
+        return versions[max(versions)]
+
+    def resolve(self, requirement: Requirement) -> CodeUnit:
+        """The newest version satisfying ``requirement``.
+
+        This is the resolver plugged into capsule building.
+        """
+        versions = self._catalog.get(requirement.name)
+        if not versions:
+            raise UnitNotFound(
+                f"repository has no unit {requirement.name!r}"
+            )
+        matching = [
+            version
+            for version in versions
+            if requirement.any_version
+            or version.compatible_with(requirement.min_version)
+        ]
+        if not matching:
+            raise UnitNotFound(
+                f"no published version of {requirement.name} satisfies "
+                f"{requirement}; have {sorted(map(str, versions))}"
+            )
+        return versions[max(matching)]
+
+    def providers_of(self, capability: str) -> List[CodeUnit]:
+        """Latest versions of units advertising an abstract capability."""
+        providers = []
+        for name in self.names():
+            unit = self.latest(name)
+            if capability in unit.provides:
+                providers.append(unit)
+        return providers
+
+    def total_bytes(self) -> int:
+        """Catalogue footprint if everything were preinstalled (E2)."""
+        return sum(
+            self.latest(name).size_bytes for name in self._catalog
+        )

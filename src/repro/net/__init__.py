@@ -1,0 +1,76 @@
+"""Network substrate: technologies, nodes, connectivity, transport.
+
+The substrate models the networking landscape the paper targets:
+nomadic dial-up, always-on cellular (GPRS), ad-hoc piconets (Bluetooth,
+802.11b IBSS), hotspot Wi-Fi, and the wired backbone — with bandwidth,
+latency, loss, radio range, *and tariffs*, because the paper's
+m-commerce arguments are about money as much as time.
+"""
+
+from .cost import CostMeter
+from .geometry import Area, Position
+from .message import HEADER_BYTES, Message
+from .mobility import PathMobility, RandomWaypoint, grid_positions
+from .monitor import ConnectivityMonitor
+from .network import (
+    Link,
+    Network,
+    prefer_fast,
+    prefer_free_then_fast,
+)
+from .node import Interface, NetworkNode
+from .routing import Router
+from .technologies import (
+    BACKBONE_LATENCY_S,
+    BLUETOOTH,
+    DIALUP,
+    GPRS,
+    LAN,
+    TECHNOLOGIES,
+    WIFI_ADHOC,
+    WIFI_INFRA,
+    LinkTechnology,
+    technology,
+)
+from .traceio import (
+    ConnectivityRecorder,
+    dump_mobility,
+    load_mobility,
+    replay_mobility,
+)
+from .transport import ACK_BYTES, Transport
+
+__all__ = [
+    "ACK_BYTES",
+    "Area",
+    "BACKBONE_LATENCY_S",
+    "BLUETOOTH",
+    "ConnectivityMonitor",
+    "ConnectivityRecorder",
+    "CostMeter",
+    "DIALUP",
+    "GPRS",
+    "HEADER_BYTES",
+    "Interface",
+    "LAN",
+    "Link",
+    "LinkTechnology",
+    "Message",
+    "Network",
+    "NetworkNode",
+    "PathMobility",
+    "Position",
+    "RandomWaypoint",
+    "Router",
+    "TECHNOLOGIES",
+    "Transport",
+    "WIFI_ADHOC",
+    "WIFI_INFRA",
+    "dump_mobility",
+    "grid_positions",
+    "load_mobility",
+    "prefer_fast",
+    "replay_mobility",
+    "prefer_free_then_fast",
+    "technology",
+]

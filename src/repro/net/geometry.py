@@ -1,0 +1,56 @@
+"""2-D geometry for node placement and radio range."""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Position:
+    """A point in the simulation plane, in metres."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Position") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def towards(self, target: "Position", step: float) -> "Position":
+        """The point ``step`` metres from here towards ``target``.
+
+        Never overshoots: if ``target`` is closer than ``step``, returns
+        ``target`` itself.
+        """
+        gap = self.distance_to(target)
+        if gap <= step or gap == 0.0:
+            return target
+        fraction = step / gap
+        return Position(
+            self.x + (target.x - self.x) * fraction,
+            self.y + (target.y - self.y) * fraction,
+        )
+
+    def __repr__(self) -> str:
+        return f"({self.x:.1f}, {self.y:.1f})"
+
+
+@dataclass(frozen=True)
+class Area:
+    """An axis-aligned rectangle [0, width] x [0, height], in metres."""
+
+    width: float
+    height: float
+
+    def contains(self, position: Position) -> bool:
+        return 0.0 <= position.x <= self.width and 0.0 <= position.y <= self.height
+
+    def random_position(self, rng: random.Random) -> Position:
+        return Position(rng.uniform(0.0, self.width), rng.uniform(0.0, self.height))
+
+    def clamp(self, position: Position) -> Position:
+        return Position(
+            min(max(position.x, 0.0), self.width),
+            min(max(position.y, 0.0), self.height),
+        )

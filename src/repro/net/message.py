@@ -1,0 +1,65 @@
+"""Messages moved by the network substrate.
+
+A :class:`Message` is the unit of transfer between hosts.  Payloads are
+ordinary Python objects (the middleware layers put typed envelopes in
+them); ``size_bytes`` is the *modelled* wire size used for timing and
+cost — payload objects carry their own size via the LMU serializer or an
+explicit value.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+_message_ids = itertools.count(1)
+
+
+def next_message_id() -> int:
+    """Process-wide unique, monotonically increasing message id."""
+    return next(_message_ids)
+
+
+#: Fixed per-message envelope overhead (headers, framing), in bytes.
+HEADER_BYTES = 64
+
+
+@dataclass
+class Message:
+    """One network message."""
+
+    source: str
+    destination: str
+    kind: str
+    payload: object = None
+    size_bytes: int = 0
+    id: int = field(default_factory=next_message_id)
+    created_at: float = 0.0
+    #: id of the request this message answers, for RPC correlation.
+    in_reply_to: Optional[int] = None
+    #: technology name the message actually travelled over (set on delivery).
+    via: Optional[str] = None
+    hops: int = 0
+
+    @property
+    def wire_size(self) -> int:
+        """Modelled bytes on the wire, including envelope overhead."""
+        return self.size_bytes + HEADER_BYTES
+
+    def reply(self, kind: str, payload: object = None, size_bytes: int = 0) -> "Message":
+        """A response message addressed back to this message's source."""
+        return Message(
+            source=self.destination,
+            destination=self.source,
+            kind=kind,
+            payload=payload,
+            size_bytes=size_bytes,
+            in_reply_to=self.id,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<Message #{self.id} {self.kind} {self.source}->{self.destination} "
+            f"{self.wire_size}B>"
+        )

@@ -1,0 +1,132 @@
+"""Mobility models driving node positions.
+
+Each model is a kernel process that updates node positions in small time
+steps; connectivity queries pick the movement up immediately.  Models
+draw from named RNG streams, so a seeded run replays identically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Iterable, List, Sequence, Tuple
+
+from ..sim import Environment, Process, RandomStreams
+from .geometry import Area, Position
+from .node import NetworkNode
+
+
+class RandomWaypoint:
+    """The classic random-waypoint model.
+
+    Each node repeatedly: picks a uniform destination in ``area``, walks
+    there at a uniform-random speed from ``speed_range`` (m/s), then
+    pauses for a uniform-random time from ``pause_range`` (s).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        nodes: Iterable[NetworkNode],
+        area: Area,
+        streams: RandomStreams,
+        speed_range: Tuple[float, float] = (0.5, 2.0),
+        pause_range: Tuple[float, float] = (0.0, 10.0),
+        tick: float = 1.0,
+    ) -> None:
+        if speed_range[0] <= 0:
+            raise ValueError("minimum speed must be positive")
+        if tick <= 0:
+            raise ValueError("tick must be positive")
+        self.env = env
+        self.area = area
+        self.speed_range = speed_range
+        self.pause_range = pause_range
+        self.tick = tick
+        self.processes: List[Process] = []
+        for node in nodes:
+            rng = streams.stream(f"mobility.{node.id}")
+            if not area.contains(node.position):
+                node.move_to(area.clamp(node.position))
+            self.processes.append(
+                env.process(self._walk(node, rng), name=f"rwp:{node.id}")
+            )
+
+    def _walk(self, node: NetworkNode, rng) -> Generator:
+        while True:
+            destination = self.area.random_position(rng)
+            speed = rng.uniform(*self.speed_range)
+            while node.position != destination:
+                yield self.env.timeout(self.tick)
+                node.move_to(node.position.towards(destination, speed * self.tick))
+            pause = rng.uniform(*self.pause_range)
+            if pause > 0:
+                yield self.env.timeout(pause)
+
+
+class PathMobility:
+    """Trace-driven movement along explicit timed waypoints.
+
+    ``waypoints`` maps node id to a sequence of ``(time, Position)``
+    pairs; the node teleport-steps to each position at its time (linear
+    interpolation between waypoints at ``tick`` resolution).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        nodes: Dict[str, NetworkNode],
+        waypoints: Dict[str, Sequence[Tuple[float, Position]]],
+        tick: float = 1.0,
+    ) -> None:
+        if tick <= 0:
+            raise ValueError("tick must be positive")
+        self.env = env
+        self.tick = tick
+        self.processes: List[Process] = []
+        for node_id, points in waypoints.items():
+            node = nodes[node_id]
+            ordered = sorted(points, key=lambda pair: pair[0])
+            self.processes.append(
+                env.process(self._follow(node, ordered), name=f"path:{node_id}")
+            )
+
+    def _follow(
+        self, node: NetworkNode, points: Sequence[Tuple[float, Position]]
+    ) -> Generator:
+        for target_time, target_position in points:
+            while self.env.now < target_time:
+                remaining = target_time - self.env.now
+                step = min(self.tick, remaining)
+                yield self.env.timeout(step)
+                time_left = target_time - self.env.now
+                if time_left <= 0:
+                    node.move_to(target_position)
+                else:
+                    distance = node.position.distance_to(target_position)
+                    speed = distance / (time_left + step)
+                    node.move_to(
+                        node.position.towards(target_position, speed * step)
+                    )
+            node.move_to(target_position)
+
+
+def grid_positions(count: int, area: Area, margin: float = 0.0) -> List[Position]:
+    """Evenly spaced positions covering ``area`` for ``count`` nodes.
+
+    Deterministic placement for experiments that must not depend on a
+    placement RNG (e.g. density sweeps).
+    """
+    if count <= 0:
+        return []
+    columns = int(count**0.5)
+    if columns * columns < count:
+        columns += 1
+    rows = (count + columns - 1) // columns
+    usable_w = area.width - 2 * margin
+    usable_h = area.height - 2 * margin
+    positions = []
+    for index in range(count):
+        row, column = divmod(index, columns)
+        x = margin + (column + 0.5) * usable_w / columns
+        y = margin + (row + 0.5) * usable_h / rows
+        positions.append(Position(x, y))
+    return positions

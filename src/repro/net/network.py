@@ -1,0 +1,273 @@
+"""The network: node registry and instantaneous connectivity.
+
+Connectivity is computed on demand from node positions and interface
+states, so mobility and churn are reflected immediately:
+
+* two usable *ad-hoc* interfaces of the same technology connect when the
+  nodes are within radio range;
+* two usable *attached* infrastructure interfaces (of any technologies)
+  connect through the fixed backbone — e.g. a GPRS handset reaching a
+  LAN server; the path takes the minimum bandwidth and the sum of
+  latencies plus a backbone hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set
+
+from ..errors import NetworkError
+from ..sim import Environment
+from .node import Interface, NetworkNode
+from .technologies import BACKBONE_LATENCY_S, LinkTechnology
+
+
+@dataclass(frozen=True)
+class Link:
+    """The effective path between two nodes at one instant."""
+
+    sender_technology: LinkTechnology
+    receiver_technology: LinkTechnology
+    bandwidth_bps: float
+    latency_s: float
+    loss: float
+    via_backbone: bool
+
+    def transfer_time(self, size_bytes: int) -> float:
+        return size_bytes * 8.0 / self.bandwidth_bps
+
+    @property
+    def name(self) -> str:
+        if self.via_backbone:
+            return (
+                f"{self.sender_technology.name}~backbone~"
+                f"{self.receiver_technology.name}"
+            )
+        return self.sender_technology.name
+
+    @property
+    def is_free(self) -> bool:
+        """True when neither endpoint pays a metered tariff for it."""
+        return (
+            self.sender_technology.cost_per_mb == 0.0
+            and self.sender_technology.cost_per_minute == 0.0
+            and self.receiver_technology.cost_per_mb == 0.0
+            and self.receiver_technology.cost_per_minute == 0.0
+        )
+
+
+def _direct_link(tech: LinkTechnology) -> Link:
+    return Link(
+        sender_technology=tech,
+        receiver_technology=tech,
+        bandwidth_bps=tech.bandwidth_bps,
+        latency_s=tech.latency_s,
+        loss=tech.loss,
+        via_backbone=False,
+    )
+
+
+def _backbone_link(sender: LinkTechnology, receiver: LinkTechnology) -> Link:
+    return Link(
+        sender_technology=sender,
+        receiver_technology=receiver,
+        bandwidth_bps=min(sender.bandwidth_bps, receiver.bandwidth_bps),
+        latency_s=sender.latency_s + BACKBONE_LATENCY_S + receiver.latency_s,
+        loss=1.0 - (1.0 - sender.loss) * (1.0 - receiver.loss),
+        via_backbone=True,
+    )
+
+
+#: Orders candidate links; the default prefers free links, then faster ones.
+LinkPolicy = Callable[[Link], tuple]
+
+
+def prefer_free_then_fast(link: Link) -> tuple:
+    """Default link selection: free links first, then highest bandwidth."""
+    return (0 if link.is_free else 1, -link.bandwidth_bps, link.latency_s)
+
+
+def prefer_fast(link: Link) -> tuple:
+    """Latency/bandwidth-greedy selection, ignoring tariffs."""
+    return (-link.bandwidth_bps, link.latency_s)
+
+
+class Network:
+    """Registry of nodes plus connectivity queries."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self.nodes: Dict[str, NetworkNode] = {}
+
+    def add_node(self, node: NetworkNode) -> NetworkNode:
+        if node.id in self.nodes:
+            raise NetworkError(f"duplicate node id {node.id!r}")
+        self.nodes[node.id] = node
+        return node
+
+    def node(self, node_id: str) -> NetworkNode:
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise NetworkError(f"unknown node {node_id!r}") from None
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self.nodes
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    # -- connectivity --------------------------------------------------------
+
+    def links_between(self, a: NetworkNode, b: NetworkNode) -> List[Link]:
+        """Every link that could carry a message from ``a`` to ``b`` now."""
+        if a.id == b.id:
+            raise NetworkError(f"node {a.id!r} cannot link to itself")
+        if not (a.up and b.up):
+            return []
+        links: List[Link] = []
+        a_ifaces = a.usable_interfaces()
+        b_by_name = {i.technology.name: i for i in b.usable_interfaces()}
+        # Direct ad-hoc links: same technology, within range.
+        for iface in a_ifaces:
+            tech = iface.technology
+            peer = b_by_name.get(tech.name)
+            if peer is None or not tech.is_adhoc:
+                continue
+            if a.position.distance_to(b.position) <= tech.range_m:
+                links.append(_direct_link(tech))
+        # Backbone links: any attached infrastructure pair.  Radio-based
+        # infrastructure (hotspot Wi-Fi) additionally needs an in-range
+        # base station/access point.
+        a_infra = [
+            i
+            for i in a_ifaces
+            if i.technology.infrastructure and self._infra_covered(a, i)
+        ]
+        b_infra = [
+            i
+            for i in b_by_name.values()
+            if i.technology.infrastructure and self._infra_covered(b, i)
+        ]
+        for sender in a_infra:
+            for receiver in b_infra:
+                links.append(
+                    _backbone_link(sender.technology, receiver.technology)
+                )
+        return links
+
+    def _infra_covered(self, node: NetworkNode, interface: Interface) -> bool:
+        """True when ``node`` has coverage for an infrastructure radio.
+
+        Wired/cellular technologies (``range_m == 0``) are covered
+        everywhere; radio infrastructure (e.g. hotspot Wi-Fi) needs a
+        *fixed* node carrying the same technology within range — the
+        access point.  Fixed nodes are their own base stations.
+        """
+        technology = interface.technology
+        if technology.range_m <= 0 or node.fixed:
+            return True
+        for other in self.nodes.values():
+            if other.id == node.id or not other.fixed or not other.up:
+                continue
+            access_point = other.interfaces.get(technology.name)
+            if access_point is None or not access_point.enabled:
+                continue
+            if node.position.distance_to(other.position) <= technology.range_m:
+                return True
+        return False
+
+    def best_link(
+        self,
+        a: NetworkNode,
+        b: NetworkNode,
+        policy: LinkPolicy = prefer_free_then_fast,
+    ) -> Optional[Link]:
+        """The preferred link from ``a`` to ``b``, or None if unreachable."""
+        links = self.links_between(a, b)
+        if not links:
+            return None
+        return min(links, key=policy)
+
+    def connected(self, a_id: str, b_id: str) -> bool:
+        return self.best_link(self.node(a_id), self.node(b_id)) is not None
+
+    def neighbors(
+        self, node: NetworkNode, technology: Optional[LinkTechnology] = None
+    ) -> List[NetworkNode]:
+        """Nodes reachable from ``node`` over *ad-hoc* radio right now.
+
+        With ``technology`` given, restrict to that radio; otherwise any
+        shared ad-hoc technology counts.
+        """
+        if not node.up:
+            return []
+        neighbors = []
+        for other in self.nodes.values():
+            if other.id == node.id or not other.up:
+                continue
+            for link in self.links_between(node, other):
+                if link.via_backbone:
+                    continue
+                if technology is not None and (
+                    link.sender_technology.name != technology.name
+                ):
+                    continue
+                neighbors.append(other)
+                break
+        return neighbors
+
+    def adjacency(self, adhoc_only: bool = False) -> Dict[str, Set[str]]:
+        """Snapshot of the connectivity graph as an adjacency mapping."""
+        ids = list(self.nodes)
+        graph: Dict[str, Set[str]] = {node_id: set() for node_id in ids}
+        for index, a_id in enumerate(ids):
+            for b_id in ids[index + 1 :]:
+                links = self.links_between(self.nodes[a_id], self.nodes[b_id])
+                if adhoc_only:
+                    links = [link for link in links if not link.via_backbone]
+                if links:
+                    graph[a_id].add(b_id)
+                    graph[b_id].add(a_id)
+        return graph
+
+    def reachable_set(self, start_id: str, adhoc_only: bool = False) -> Set[str]:
+        """Transitive closure of connectivity from ``start_id`` (BFS)."""
+        graph = self.adjacency(adhoc_only=adhoc_only)
+        seen = {start_id}
+        frontier = [start_id]
+        while frontier:
+            current = frontier.pop()
+            for neighbor in graph.get(current, ()):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return seen
+
+    def shortest_path(
+        self, source_id: str, target_id: str, adhoc_only: bool = False
+    ) -> Optional[List[str]]:
+        """Hop-minimal node path from source to target, or None."""
+        if source_id == target_id:
+            return [source_id]
+        graph = self.adjacency(adhoc_only=adhoc_only)
+        previous: Dict[str, str] = {}
+        seen = {source_id}
+        frontier = [source_id]
+        while frontier:
+            next_frontier: List[str] = []
+            for current in frontier:
+                for neighbor in sorted(graph.get(current, ())):
+                    if neighbor in seen:
+                        continue
+                    seen.add(neighbor)
+                    previous[neighbor] = current
+                    if neighbor == target_id:
+                        path = [target_id]
+                        while path[-1] != source_id:
+                            path.append(previous[path[-1]])
+                        path.reverse()
+                        return path
+                    next_frontier.append(neighbor)
+            frontier = next_frontier
+        return None

@@ -1,0 +1,90 @@
+"""Multi-hop relaying over the ad-hoc connectivity graph.
+
+Direct links only reach one hop; the router forwards a message along a
+BFS-shortest path, paying every hop's transmission time and loss.  It
+re-plans before each hop, so paths survive moderate mobility; it gives
+up when the destination becomes unreachable.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..errors import Unreachable
+from ..sim import Environment, Process
+from .message import Message
+from .network import Network
+from .transport import Transport
+
+
+class Router:
+    """Hop-by-hop forwarding built on :class:`Transport`."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        transport: Transport,
+        adhoc_only: bool = True,
+        max_hops: int = 32,
+    ) -> None:
+        self.env = env
+        self.network = network
+        self.transport = transport
+        self.adhoc_only = adhoc_only
+        self.max_hops = max_hops
+
+    def send_multihop(self, message: Message) -> Process:
+        """Relay ``message`` towards its destination; resolves to the hop
+        count on success, and fails with :class:`Unreachable` when no
+        path exists (checked before every hop)."""
+        return self.env.process(
+            self._relay(message), name=f"route#{message.id}"
+        )
+
+    def _relay(self, message: Message) -> Generator:
+        current = message.source
+        hops = 0
+        if message.created_at == 0.0:
+            message.created_at = self.env.now
+        while current != message.destination:
+            if hops >= self.max_hops:
+                raise Unreachable(
+                    f"gave up after {hops} hops towards {message.destination}"
+                )
+            path = self.network.shortest_path(
+                current, message.destination, adhoc_only=self.adhoc_only
+            )
+            if path is None or len(path) < 2:
+                raise Unreachable(
+                    f"no path from {current} to {message.destination}"
+                )
+            next_hop = path[1]
+            leg = Message(
+                source=current,
+                destination=next_hop,
+                kind="net.relay",
+                payload=message,
+                size_bytes=message.size_bytes,
+                created_at=message.created_at,
+            )
+            yield self.transport.send_reliable(leg)
+            hops += 1
+            current = next_hop
+            # The leg sits in the hop's inbox; reclaim it so dispatch loops
+            # never see relay plumbing.
+            hop_node = self.network.node(current)
+            removal = hop_node.inbox.get(
+                predicate=lambda m, leg_id=leg.id: m.id == leg_id
+            )
+            if removal.triggered:
+                yield removal
+            else:
+                # A dispatcher consumed it first; it is expected to ignore
+                # the reserved "net.relay" kind.
+                removal.cancel()
+        message.hops = hops
+        message.via = "multihop"
+        destination_node = self.network.node(message.destination)
+        yield destination_node.inbox.put(message)
+        return hops

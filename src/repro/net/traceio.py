@@ -1,0 +1,164 @@
+"""Mobility-trace and connectivity-timeline I/O.
+
+Experiments sometimes need trace-driven mobility (reproducing a
+recorded movement pattern) or want to export what happened for external
+analysis.  The formats are deliberately trivial, line-oriented text:
+
+Mobility trace (``.mob``)::
+
+    # node time x y
+    n0 0.0 10.0 20.0
+    n0 30.0 50.0 20.0
+    n1 0.0 0.0 0.0
+
+Connectivity timeline (``.con``)::
+
+    # time a b up|down
+    12.0 n0 n1 up
+    47.5 n0 n1 down
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, TextIO, Tuple
+
+from ..errors import NetworkError
+from ..sim import Environment
+from .geometry import Position
+from .mobility import PathMobility
+from .monitor import ConnectivityMonitor
+from .network import Network
+from .node import NetworkNode
+
+Waypoints = Dict[str, List[Tuple[float, Position]]]
+
+
+def dump_mobility(waypoints: Waypoints, stream: TextIO) -> int:
+    """Write waypoints in ``.mob`` format; returns lines written."""
+    stream.write("# node time x y\n")
+    lines = 1
+    for node_id in sorted(waypoints):
+        for time, position in sorted(waypoints[node_id], key=lambda p: p[0]):
+            stream.write(
+                f"{node_id} {time:.6g} {position.x:.6g} {position.y:.6g}\n"
+            )
+            lines += 1
+    return lines
+
+
+def load_mobility(stream: TextIO) -> Waypoints:
+    """Parse a ``.mob`` stream back into waypoints.
+
+    Raises :class:`NetworkError` on malformed lines (with line number).
+    """
+    waypoints: Waypoints = {}
+    for line_number, raw in enumerate(stream, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 4:
+            raise NetworkError(
+                f"mobility trace line {line_number}: expected "
+                f"'node time x y', got {line!r}"
+            )
+        node_id, time_text, x_text, y_text = parts
+        try:
+            entry = (float(time_text), Position(float(x_text), float(y_text)))
+        except ValueError as error:
+            raise NetworkError(
+                f"mobility trace line {line_number}: {error}"
+            ) from None
+        waypoints.setdefault(node_id, []).append(entry)
+    for node_id in waypoints:
+        waypoints[node_id].sort(key=lambda pair: pair[0])
+    return waypoints
+
+
+def replay_mobility(
+    env: Environment,
+    nodes: Dict[str, NetworkNode],
+    stream: TextIO,
+    tick: float = 1.0,
+) -> PathMobility:
+    """Drive ``nodes`` along a ``.mob`` trace.
+
+    Node ids present in the trace but absent from ``nodes`` raise, so a
+    typo never silently leaves a node parked.
+    """
+    waypoints = load_mobility(stream)
+    missing = sorted(set(waypoints) - set(nodes))
+    if missing:
+        raise NetworkError(
+            f"mobility trace names unknown nodes: {missing}"
+        )
+    # Snap each node to its first waypoint if it starts at t<=0.
+    for node_id, points in waypoints.items():
+        first_time, first_position = points[0]
+        if first_time <= env.now:
+            nodes[node_id].move_to(first_position)
+    return PathMobility(env, nodes, waypoints, tick=tick)
+
+
+class ConnectivityRecorder:
+    """Watches one node and records link up/down transitions.
+
+    Attach one per observed node; call :meth:`dump` (or read
+    :attr:`events`) when the run ends.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        node: NetworkNode,
+        interval: float = 1.0,
+    ) -> None:
+        self.node = node
+        self.events: List[Tuple[float, str, str, str]] = []
+        self._env = env
+        self._monitor = ConnectivityMonitor(
+            env, network, node, interval=interval
+        )
+        self._monitor.subscribe(self._on_change)
+
+    def _on_change(self, peer_id: str, appeared: bool) -> None:
+        self.events.append(
+            (
+                self._env.now,
+                self.node.id,
+                peer_id,
+                "up" if appeared else "down",
+            )
+        )
+
+    def contact_count(self, peer_id: str) -> int:
+        """How many times the peer came into contact."""
+        return sum(
+            1
+            for _t, _a, b, state in self.events
+            if b == peer_id and state == "up"
+        )
+
+    def total_contact_time(self, peer_id: str, until: float) -> float:
+        """Seconds of contact with ``peer_id`` up to time ``until``."""
+        total = 0.0
+        up_since = None
+        for time, _a, b, state in self.events:
+            if b != peer_id:
+                continue
+            if state == "up" and up_since is None:
+                up_since = time
+            elif state == "down" and up_since is not None:
+                total += time - up_since
+                up_since = None
+        if up_since is not None:
+            total += until - up_since
+        return total
+
+    def dump(self, stream: TextIO) -> int:
+        """Write the timeline in ``.con`` format; returns lines written."""
+        stream.write("# time a b up|down\n")
+        for time, a, b, state in self.events:
+            stream.write(f"{time:.6g} {a} {b} {state}\n")
+        return len(self.events) + 1

@@ -1,0 +1,151 @@
+"""The sandbox: a protected, budgeted environment for guest code.
+
+Guest code (a REV body, an agent's ``on_arrival`` step, a downloaded
+unit's behaviour) runs inside an :class:`ExecutionContext` that meters
+abstract *work units* and scratch storage.  Exceeding either budget
+raises :class:`SandboxViolation` inside the guest; the sandbox converts
+any guest exception into a structured :class:`ExecutionResult`, so a
+hostile or buggy unit can never crash its host.
+
+Work units map to simulated CPU time through the host's ``cpu_speed``
+(see :data:`WORK_UNITS_PER_SECOND`); the middleware yields that delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..errors import SandboxViolation
+from ..lmu.serializer import estimate_size
+
+#: Work units one reference-speed (1.0) host executes per simulated second.
+WORK_UNITS_PER_SECOND = 1_000_000.0
+
+
+class ExecutionContext:
+    """What guest code sees of its host: metered CPU, storage, services."""
+
+    def __init__(
+        self,
+        host_id: str,
+        principal: str,
+        work_budget: float = 1_000_000.0,
+        storage_budget_bytes: int = 1_000_000,
+        services: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.host_id = host_id
+        self.principal = principal
+        self.work_budget = work_budget
+        self.storage_budget_bytes = storage_budget_bytes
+        #: Host-provided API surface (discovery, messaging hooks, ...).
+        self.services: Dict[str, Any] = dict(services or {})
+        self.work_used = 0.0
+        self._storage: Dict[str, object] = {}
+
+    # -- CPU metering --------------------------------------------------------
+
+    def charge(self, work_units: float) -> None:
+        """Account ``work_units`` of computation; raises on exhaustion."""
+        if work_units < 0:
+            raise ValueError("cannot charge negative work")
+        self.work_used += work_units
+        if self.work_used > self.work_budget:
+            raise SandboxViolation(
+                f"guest of {self.principal!r} exceeded work budget "
+                f"({self.work_used:.0f} > {self.work_budget:.0f} units)"
+            )
+
+    @property
+    def work_remaining(self) -> float:
+        return max(0.0, self.work_budget - self.work_used)
+
+    # -- scratch storage -------------------------------------------------------
+
+    def store(self, key: str, value: object) -> None:
+        """Put ``value`` in scratch storage, enforcing the byte budget."""
+        self._storage[key] = value
+        if self.storage_bytes_used > self.storage_budget_bytes:
+            del self._storage[key]
+            raise SandboxViolation(
+                f"guest of {self.principal!r} exceeded storage budget "
+                f"({self.storage_budget_bytes}B)"
+            )
+
+    def fetch(self, key: str, default: object = None) -> object:
+        return self._storage.get(key, default)
+
+    def discard(self, key: str) -> None:
+        self._storage.pop(key, None)
+
+    @property
+    def storage_bytes_used(self) -> int:
+        return sum(
+            estimate_size(key) + estimate_size(value)
+            for key, value in self._storage.items()
+        )
+
+    # -- services ------------------------------------------------------------
+
+    def service(self, name: str) -> Any:
+        """A host service by name; raises when the host offers none."""
+        try:
+            return self.services[name]
+        except KeyError:
+            raise SandboxViolation(
+                f"host {self.host_id} offers no service {name!r} to guests"
+            ) from None
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one sandboxed execution."""
+
+    ok: bool
+    value: object = None
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    work_used: float = 0.0
+
+    @property
+    def cpu_seconds_reference(self) -> float:
+        """Simulated CPU seconds on a reference-speed host."""
+        return self.work_used / WORK_UNITS_PER_SECOND
+
+
+class Sandbox:
+    """Runs guest callables under a context, converting failures."""
+
+    def __init__(self, host_id: str) -> None:
+        self.host_id = host_id
+        self.executions = 0
+        self.violations = 0
+
+    def run(
+        self, guest: Any, context: ExecutionContext, *args: object
+    ) -> ExecutionResult:
+        """Execute ``guest(context, *args)`` under protection.
+
+        Exceptions never propagate: budget violations and guest bugs
+        both come back as a failed :class:`ExecutionResult` with the
+        error text (the "remote traceback").
+        """
+        self.executions += 1
+        try:
+            value = guest(context, *args)
+        except SandboxViolation as violation:
+            self.violations += 1
+            return ExecutionResult(
+                ok=False,
+                error=str(violation),
+                error_type="SandboxViolation",
+                work_used=context.work_used,
+            )
+        except Exception as error:  # noqa: BLE001 - guest code is untrusted
+            return ExecutionResult(
+                ok=False,
+                error=f"{type(error).__name__}: {error}",
+                error_type=type(error).__name__,
+                work_used=context.work_used,
+            )
+        return ExecutionResult(ok=True, value=value, work_used=context.work_used)

@@ -1,0 +1,62 @@
+"""Capsule signing and verification.
+
+Signatures cover the capsule's content digest, so any change to the
+manifest or the contained units breaks verification (see
+:meth:`repro.lmu.Capsule.content_digest`).
+"""
+
+from __future__ import annotations
+
+from ..errors import SignatureInvalid, UntrustedPrincipal
+from ..lmu import Capsule
+from .keys import KeyPair, Signature, signing_delay, verification_delay
+from .truststore import TrustStore
+
+
+def sign_capsule(keypair: KeyPair, capsule: Capsule) -> float:
+    """Attach ``keypair``'s signature to ``capsule``.
+
+    Returns the modelled CPU delay (reference host) the caller should
+    simulate; the middleware scales it by the signer's CPU speed.
+    """
+    digest = capsule.content_digest().encode("utf-8")
+    capsule.signature = keypair.sign(digest)
+    return signing_delay(capsule.size_bytes)
+
+
+def verify_capsule(truststore: TrustStore, capsule: Capsule) -> str:
+    """Check ``capsule``'s signature against ``truststore``.
+
+    Returns the verified signer principal.  Raises:
+
+    * :class:`SignatureInvalid` — unsigned, or the tag does not match
+      the capsule's current contents (tampering);
+    * :class:`UntrustedPrincipal` — the signer is not trusted here.
+    """
+    signature = capsule.signature
+    if not isinstance(signature, Signature):
+        raise SignatureInvalid(
+            f"capsule #{capsule.manifest.capsule_id} carries no signature"
+        )
+    key = truststore.key_of(signature.signer)  # may raise UntrustedPrincipal
+    digest = capsule.content_digest().encode("utf-8")
+    if not key.verify(digest, signature):
+        raise SignatureInvalid(
+            f"signature by {signature.signer} does not match capsule "
+            f"#{capsule.manifest.capsule_id} contents"
+        )
+    return signature.signer
+
+
+def capsule_verification_delay(capsule: Capsule) -> float:
+    """Modelled CPU delay (reference host) to verify ``capsule``."""
+    return verification_delay(capsule.size_bytes)
+
+
+__all__ = [
+    "capsule_verification_delay",
+    "sign_capsule",
+    "verify_capsule",
+    "SignatureInvalid",
+    "UntrustedPrincipal",
+]

@@ -1,0 +1,43 @@
+"""Trust stores: which principals' code a host accepts."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import UntrustedPrincipal
+from .keys import PublicKey
+
+
+class TrustStore:
+    """The set of public keys one host trusts."""
+
+    def __init__(self) -> None:
+        self._keys: Dict[str, PublicKey] = {}
+
+    def trust(self, key: PublicKey) -> None:
+        """Add (or replace) the trusted key for ``key.principal``."""
+        self._keys[key.principal] = key
+
+    def revoke(self, principal: str) -> None:
+        """Stop trusting ``principal`` (idempotent)."""
+        self._keys.pop(principal, None)
+
+    def trusts(self, principal: str) -> bool:
+        return principal in self._keys
+
+    def key_of(self, principal: str) -> PublicKey:
+        try:
+            return self._keys[principal]
+        except KeyError:
+            raise UntrustedPrincipal(
+                f"no trusted key for principal {principal!r}"
+            ) from None
+
+    def principals(self) -> List[str]:
+        return sorted(self._keys)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, principal: str) -> bool:
+        return self.trusts(principal)

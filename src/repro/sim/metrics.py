@@ -1,0 +1,207 @@
+"""Metric collection for simulations and benchmarks.
+
+A :class:`MetricsRegistry` holds named metrics of four kinds:
+
+* :class:`Counter`   — monotonically increasing totals (bytes sent, ...);
+* :class:`Gauge`     — last-written instantaneous values (queue depth, ...);
+* :class:`Histogram` — sample distributions with quantiles (latencies, ...);
+* :class:`TimeSeries`— (time, value) points for plotted series.
+
+All metrics are plain in-memory Python; ``snapshot()`` renders the whole
+registry to a flat dict for table output and assertions in tests.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import insort
+from typing import Dict, List, Optional, Tuple
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def increment(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value:g}>"
+
+
+class Gauge:
+    """The most recently written value."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+        self._max = -math.inf
+        self._min = math.inf
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self._max = max(self._max, value)
+        self._min = min(self._min, value)
+
+    def add(self, delta: float) -> None:
+        self.set(self.value + delta)
+
+    @property
+    def max(self) -> float:
+        return self._max
+
+    @property
+    def min(self) -> float:
+        return self._min
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}={self.value:g}>"
+
+
+class Histogram:
+    """A distribution of samples with mean and quantile queries."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._sorted: List[float] = []
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        insort(self._sorted, value)
+        self._sum += value
+
+    @property
+    def count(self) -> int:
+        return len(self._sorted)
+
+    @property
+    def mean(self) -> float:
+        return self._sum / len(self._sorted) if self._sorted else 0.0
+
+    @property
+    def total(self) -> float:
+        return self._sum
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolated quantile ``q`` in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if not self._sorted:
+            return 0.0
+        if len(self._sorted) == 1:
+            return self._sorted[0]
+        position = q * (len(self._sorted) - 1)
+        low = int(math.floor(position))
+        high = min(low + 1, len(self._sorted) - 1)
+        fraction = position - low
+        low_value = self._sorted[low]
+        high_value = self._sorted[high]
+        # a + (b-a)*f keeps the result inside [a, b] under rounding.
+        return low_value + (high_value - low_value) * fraction
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def max(self) -> float:
+        return self._sorted[-1] if self._sorted else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._sorted[0] if self._sorted else 0.0
+
+    def __repr__(self) -> str:
+        return f"<Histogram {self.name} n={self.count} mean={self.mean:g}>"
+
+
+class TimeSeries:
+    """Ordered (time, value) observations for a plotted series."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.points: List[Tuple[float, float]] = []
+
+    def record(self, time: float, value: float) -> None:
+        if self.points and time < self.points[-1][0]:
+            raise ValueError(f"time went backwards in series {self.name!r}")
+        self.points.append((time, value))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def last(self) -> Optional[Tuple[float, float]]:
+        return self.points[-1] if self.points else None
+
+    def values(self) -> List[float]:
+        return [value for _, value in self.points]
+
+    def integral(self) -> float:
+        """Time-weighted integral (step interpolation)."""
+        total = 0.0
+        for (t0, v0), (t1, _) in zip(self.points, self.points[1:]):
+            total += v0 * (t1 - t0)
+        return total
+
+    def time_average(self) -> float:
+        """Time-weighted mean over the observed interval."""
+        if len(self.points) < 2:
+            return self.points[0][1] if self.points else 0.0
+        span = self.points[-1][0] - self.points[0][0]
+        return self.integral() / span if span > 0 else self.points[-1][1]
+
+
+class MetricsRegistry:
+    """Namespace of metrics, created lazily on first access."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._series: Dict[str, TimeSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(self, name: str) -> Histogram:
+        return self._histograms.setdefault(name, Histogram(name))
+
+    def series(self, name: str) -> TimeSeries:
+        return self._series.setdefault(name, TimeSeries(name))
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flatten every metric into ``name[.stat] -> value``."""
+        snapshot: Dict[str, float] = {}
+        for name, counter in self._counters.items():
+            snapshot[name] = counter.value
+        for name, gauge in self._gauges.items():
+            snapshot[name] = gauge.value
+        for name, histogram in self._histograms.items():
+            snapshot[f"{name}.count"] = float(histogram.count)
+            snapshot[f"{name}.mean"] = histogram.mean
+            snapshot[f"{name}.median"] = histogram.median
+            snapshot[f"{name}.p95"] = histogram.p95
+        for name, series in self._series.items():
+            last = series.last()
+            snapshot[f"{name}.last"] = last[1] if last else 0.0
+        return snapshot
+
+    def names(self) -> List[str]:
+        return sorted(
+            list(self._counters)
+            + list(self._gauges)
+            + list(self._histograms)
+            + list(self._series)
+        )

@@ -1,0 +1,151 @@
+"""Generator-driven processes for the discrete-event kernel."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from ..errors import Interrupt, SimulationError
+from .events import Event, PENDING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .environment import Environment
+
+ProcessGenerator = Generator[Event, object, object]
+
+
+class _InterruptEvent(Event):
+    """Internal event used to deliver an interrupt to a process."""
+
+    def __init__(self, env: "Environment", process: "Process", cause: object) -> None:
+        super().__init__(env)
+        self._ok = False
+        self._value = Interrupt(cause)
+        self._defused = True
+        self.process = process
+        self.add_callback(process._resume)
+        env.schedule(self, priority=True)
+
+
+class Process(Event):
+    """An active entity driving a generator of events.
+
+    The process itself is an event: it fires with the generator's return
+    value when the generator finishes, or fails with the exception the
+    generator raised.  Other processes may therefore ``yield`` a process
+    to wait for its completion.
+    """
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator, name: str = "") -> None:
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process currently waits on (None when resuming
+        #: or finished).
+        self._target: Optional[Event] = None
+        # Kick the generator off at the current simulation time.
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.add_callback(self._resume)
+        env.schedule(init, priority=True)
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r}{' (ended)' if self.triggered else ''}>"
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event the process is currently waiting on, if any."""
+        return self._target
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`~repro.errors.Interrupt` into the process.
+
+        The process is rescheduled immediately; whatever event it was
+        waiting for stays pending and may still fire later (its firing
+        will simply no longer resume this process).
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has already terminated")
+        if self._target is None and not self.env._resuming_process is self:
+            # The process has been created but its initialisation event has
+            # not run yet; interrupting before the first resume is allowed
+            # and will be delivered as the first thing the generator sees.
+            pass
+        _InterruptEvent(self.env, self, cause)
+
+    # -- kernel plumbing ---------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s outcome."""
+        if self.triggered:
+            # Process already finished (e.g. interrupted to death while a
+            # timeout was pending); swallow stale wakeups.
+            if not event.ok:
+                event._defused = True
+            return
+        # An interrupt may arrive while a real target is pending; detach so
+        # the stale target's firing does not resume us twice.
+        if self._target is not None and self._target is not event:
+            if isinstance(event, _InterruptEvent):
+                self._detach_from(self._target)
+            else:
+                # Stale wakeup from an event we abandoned after an interrupt.
+                if not event.ok:
+                    event._defused = True
+                return
+        self._target = None
+        self.env._resuming_process = self
+        try:
+            while True:
+                if event.ok:
+                    next_target = self._generator.send(event.value)
+                else:
+                    event._defused = True
+                    next_target = self._generator.throw(event.value)  # type: ignore[arg-type]
+                if not isinstance(next_target, Event):
+                    exc = SimulationError(
+                        f"process {self.name!r} yielded {next_target!r}, "
+                        "which is not an Event"
+                    )
+                    self._generator.throw(exc)
+                    raise exc
+                if next_target.env is not self.env:
+                    exc = SimulationError(
+                        f"process {self.name!r} yielded an event from a "
+                        "different environment"
+                    )
+                    self._generator.throw(exc)
+                    raise exc
+                if next_target.callbacks is not None:
+                    # Pending: wait for it.
+                    next_target.add_callback(self._resume)
+                    self._target = next_target
+                    break
+                # Already processed: consume its outcome immediately.
+                event = next_target
+        except StopIteration as stop:
+            self._ok = True
+            self._value = stop.value
+            self.env.schedule(self, priority=True)
+        except BaseException as error:
+            if isinstance(error, (KeyboardInterrupt, SystemExit)):
+                raise
+            self._ok = False
+            self._value = error
+            self.env.schedule(self, priority=True)
+        finally:
+            self.env._resuming_process = None
+
+    def _detach_from(self, target: Event) -> None:
+        if target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass

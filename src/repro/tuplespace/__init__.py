@@ -1,0 +1,12 @@
+"""Linda tuple space plus Lime-style federation (comparison baseline).
+
+The paper positions Lime as related work whose "flat tuple space …
+limits the processing that can be made on the shared information"; this
+package provides a faithful-enough Lime stand-in to measure that claim
+(experiment E9) and to serve as an alternative coordination substrate.
+"""
+
+from .lime import LimeSpace
+from .space import ANY, Template, TupleSpace, as_template
+
+__all__ = ["ANY", "LimeSpace", "Template", "TupleSpace", "as_template"]

@@ -1,0 +1,266 @@
+"""Lime-style transiently shared tuple spaces (the data-sharing baseline).
+
+Each host carries a local :class:`TupleSpace`.  When hosts come into
+ad-hoc range they *engage*: federated queries then span the union of
+engaged spaces — remote matches travel back as messages, which is
+exactly the property E9 measures (the tuple space moves *data* to the
+query, where REV moves *code* to the data).
+
+This is the paper's characterisation of Lime: a flat tuple space shared
+across connected hosts, with location parameters for remote out, and no
+security layer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Set, Tuple
+
+from ..errors import TupleSpaceError
+from ..lmu.serializer import estimate_size
+from ..net import ConnectivityMonitor, Message
+from ..core.components import Component, MessageHandler
+from .space import Template, TupleSpace, as_template
+
+KIND_QUERY = "lime.query"
+KIND_REPLY = "lime.reply"
+KIND_OUT = "lime.out"
+KIND_REACT = "lime.react"
+KIND_UNREACT = "lime.unreact"
+KIND_EVENT = "lime.event"
+
+
+class LimeSpace(Component):
+    """Host-level tuple space with Lime-style engagement."""
+
+    kind = "lime"
+    code_size = 9_000
+
+    def __init__(self, scan_interval: float = 1.0) -> None:
+        super().__init__()
+        self.scan_interval = scan_interval
+        self.space: Optional[TupleSpace] = None
+        #: Host ids currently engaged (in ad-hoc range).
+        self.engaged: Set[str] = set()
+        self._monitor: Optional[ConnectivityMonitor] = None
+        #: Remote reactions we registered elsewhere: id -> listener.
+        self._remote_listeners: Dict[int, object] = {}
+        #: Reactions peers registered here: id -> (subscriber, unsubscribe).
+        self._served_reactions: Dict[int, tuple] = {}
+        self._reaction_counter = 0
+
+    def start(self) -> None:
+        super().start()
+        host = self.require_host()
+        self.space = TupleSpace(self.env, name=f"its:{host.id}")
+        self._monitor = ConnectivityMonitor(
+            self.env,
+            host.world.network,
+            host.node,
+            interval=self.scan_interval,
+        )
+        self._monitor.subscribe(self._on_peer_change)
+
+    def handlers(self) -> Dict[str, MessageHandler]:
+        return {
+            KIND_QUERY: self._handle_query,
+            KIND_OUT: self._handle_out,
+            KIND_REACT: self._handle_react,
+            KIND_UNREACT: self._handle_unreact,
+            KIND_EVENT: self._handle_event,
+        }
+
+    def _on_peer_change(self, peer_id: str, appeared: bool) -> None:
+        host = self.require_host()
+        if appeared:
+            self.engaged.add(peer_id)
+            host.world.metrics.counter("lime.engagements").increment()
+        else:
+            self.engaged.discard(peer_id)
+            host.world.metrics.counter("lime.disengagements").increment()
+
+    # -- local operations ------------------------------------------------------------
+
+    def out(self, item: Tuple) -> None:
+        """Insert into the local space."""
+        self._space().out(item)
+
+    def rdp(self, template: object) -> Optional[Tuple]:
+        return self._space().rdp(template)
+
+    def inp(self, template: object) -> Optional[Tuple]:
+        return self._space().inp(template)
+
+    # -- federated operations -----------------------------------------------------------
+
+    def out_to(self, peer_id: str, item: Tuple) -> Generator:
+        """Lime's located out: place a tuple in a *remote* engaged space."""
+        host = self.require_host()
+        if peer_id not in self.engaged:
+            raise TupleSpaceError(
+                f"{host.id}: peer {peer_id} is not engaged"
+            )
+        message = Message(
+            source=host.id,
+            destination=peer_id,
+            kind=KIND_OUT,
+            payload={"tuple": item},
+            size_bytes=estimate_size(item),
+        )
+        yield host.send(message)
+
+    def federated_rd_all(
+        self, template: object, timeout: float = 5.0
+    ) -> Generator:
+        """Read all matches across the local and engaged spaces.
+
+        Remote tuples are *copied* over the radio — the byte cost this
+        baseline pays.  Unreachable peers are skipped silently, as in
+        Lime's transient sharing.
+        """
+        return (
+            yield from self._federated(template, take=False, timeout=timeout)
+        )
+
+    def federated_in_all(
+        self, template: object, timeout: float = 5.0
+    ) -> Generator:
+        """Take all matches across the local and engaged spaces."""
+        return (
+            yield from self._federated(template, take=True, timeout=timeout)
+        )
+
+    def _federated(
+        self, template: object, take: bool, timeout: float
+    ) -> Generator:
+        host = self.require_host()
+        pattern = as_template(template)
+        local = (
+            self._space().in_all(pattern) if take else self._space().rd_all(pattern)
+        )
+        results: List[Tuple] = list(local)
+        for peer_id in sorted(self.engaged):
+            message = Message(
+                source=host.id,
+                destination=peer_id,
+                kind=KIND_QUERY,
+                payload={"fields": pattern.fields, "take": take},
+                size_bytes=estimate_size(pattern.fields) + 16,
+            )
+            try:
+                reply = yield from host.request(message, timeout=timeout)
+            except Exception:  # noqa: BLE001 - transient sharing: skip peer
+                continue
+            results.extend((reply.payload or {}).get("tuples", []))
+        host.world.metrics.counter("lime.federated_queries").increment()
+        return results
+
+    # -- remote reactions ---------------------------------------------------------------
+
+    def react_remote(self, peer_id: str, template: object, listener) -> Generator:
+        """Register interest in matching ``out``s at an engaged peer.
+
+        Lime's hallmark: ``listener(tuple)`` fires *here* whenever a
+        matching tuple is written into the peer's space.  Returns a
+        reaction id usable with :meth:`unreact_remote` (generator
+        helper).
+        """
+        host = self.require_host()
+        if peer_id not in self.engaged:
+            raise TupleSpaceError(f"{host.id}: peer {peer_id} is not engaged")
+        pattern = as_template(template)
+        self._reaction_counter += 1
+        reaction_id = self._reaction_counter
+        message = Message(
+            source=host.id,
+            destination=peer_id,
+            kind=KIND_REACT,
+            payload={"fields": pattern.fields, "reaction_id": reaction_id},
+            size_bytes=estimate_size(pattern.fields) + 24,
+        )
+        yield from host.request(message)
+        self._remote_listeners[reaction_id] = listener
+        host.world.metrics.counter("lime.remote_reactions").increment()
+        return reaction_id
+
+    def unreact_remote(self, peer_id: str, reaction_id: int) -> Generator:
+        """Withdraw a remote reaction (generator helper)."""
+        host = self.require_host()
+        self._remote_listeners.pop(reaction_id, None)
+        message = Message(
+            source=host.id,
+            destination=peer_id,
+            kind=KIND_UNREACT,
+            payload={"reaction_id": reaction_id},
+            size_bytes=32,
+        )
+        yield from host.request(message)
+
+    def _handle_react(self, message: Message) -> Generator:
+        host = self.require_host()
+        payload = message.payload or {}
+        pattern = Template(*payload.get("fields", ()))
+        reaction_id = payload.get("reaction_id")
+        subscriber = message.source
+
+        def forward(item: Tuple) -> None:
+            event = Message(
+                source=host.id,
+                destination=subscriber,
+                kind=KIND_EVENT,
+                payload={"reaction_id": reaction_id, "tuple": item},
+                size_bytes=estimate_size(item) + 24,
+            )
+            # Fire-and-forget: transient sharing tolerates a lost event.
+            host.send(event, reliable=False)
+
+        unsubscribe = self._space().react(pattern, forward)
+        self._served_reactions[reaction_id] = (subscriber, unsubscribe)
+        yield host.reply_to(message, KIND_REPLY, payload={"ok": True}, size_bytes=16)
+
+    def _handle_unreact(self, message: Message) -> Generator:
+        reaction_id = (message.payload or {}).get("reaction_id")
+        entry = self._served_reactions.pop(reaction_id, None)
+        if entry is not None:
+            _subscriber, unsubscribe = entry
+            unsubscribe()
+        host = self.require_host()
+        yield host.reply_to(message, KIND_REPLY, payload={"ok": True}, size_bytes=16)
+
+    def _handle_event(self, message: Message) -> Generator:
+        payload = message.payload or {}
+        listener = self._remote_listeners.get(payload.get("reaction_id"))
+        if listener is not None:
+            listener(payload.get("tuple"))
+        return
+        yield  # pragma: no cover - generator protocol
+
+    # -- message handling -------------------------------------------------------------------
+
+    def _handle_query(self, message: Message) -> Generator:
+        host = self.require_host()
+        payload = message.payload or {}
+        pattern = Template(*payload.get("fields", ()))
+        if payload.get("take"):
+            matches = self._space().in_all(pattern)
+        else:
+            matches = self._space().rd_all(pattern)
+        yield host.reply_to(
+            message,
+            KIND_REPLY,
+            payload={"tuples": matches},
+            size_bytes=sum(estimate_size(item) for item in matches) + 16,
+        )
+
+    def _handle_out(self, message: Message) -> Generator:
+        item = (message.payload or {}).get("tuple")
+        if isinstance(item, tuple):
+            self._space().out(item)
+        return
+        yield  # pragma: no cover - generator protocol
+
+    def _space(self) -> TupleSpace:
+        if self.space is None:
+            raise TupleSpaceError(
+                f"lime component on {self.require_host().id} not started"
+            )
+        return self.space

@@ -1,0 +1,180 @@
+"""A Linda tuple space: the data-sharing primitive Lime builds on.
+
+Tuples are plain Python tuples; templates match positionally with
+exact values, the :data:`ANY` wildcard, types (match by isinstance),
+or predicates.  Blocking ``rd``/``in_`` return kernel events so
+processes can wait for a match.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import TupleSpaceError
+from ..lmu.serializer import estimate_size
+from ..sim import Environment, Event
+
+
+class _AnyValue:
+    """Wildcard matching any field value."""
+
+    def __repr__(self) -> str:
+        return "ANY"
+
+
+ANY = _AnyValue()
+
+
+class Template:
+    """A positional pattern over tuples."""
+
+    def __init__(self, *fields: object) -> None:
+        self.fields = fields
+
+    def matches(self, candidate: Tuple) -> bool:
+        if not isinstance(candidate, tuple):
+            return False
+        if len(candidate) != len(self.fields):
+            return False
+        for pattern, value in zip(self.fields, candidate):
+            if pattern is ANY:
+                continue
+            if isinstance(pattern, type):
+                if not isinstance(value, pattern):
+                    return False
+                continue
+            if callable(pattern) and not isinstance(pattern, type):
+                try:
+                    if not pattern(value):
+                        return False
+                except Exception:
+                    return False
+                continue
+            if pattern != value:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"Template{self.fields!r}"
+
+
+def as_template(template: object) -> Template:
+    """Accept a :class:`Template` or a plain tuple of patterns."""
+    if isinstance(template, Template):
+        return template
+    if isinstance(template, tuple):
+        return Template(*template)
+    raise TupleSpaceError(f"not a template: {template!r}")
+
+
+#: A reaction callback: fired with the tuple that triggered it.
+Reaction = Callable[[Tuple], None]
+
+
+class TupleSpace:
+    """One host's local tuple space."""
+
+    def __init__(self, env: Environment, name: str = "ts") -> None:
+        self.env = env
+        self.name = name
+        self.tuples: List[Tuple] = []
+        self._waiters: List[Tuple[Template, Event, bool]] = []
+        self._reactions: List[Tuple[Template, Reaction]] = []
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    @property
+    def size_bytes(self) -> int:
+        """Modelled storage footprint of the space's contents."""
+        return sum(estimate_size(item) for item in self.tuples)
+
+    # -- writes ---------------------------------------------------------------
+
+    def out(self, item: Tuple) -> None:
+        """Insert a tuple, waking matching waiters and firing reactions."""
+        if not isinstance(item, tuple):
+            raise TupleSpaceError(f"only tuples can be out(): {item!r}")
+        self.tuples.append(item)
+        self._serve_waiters()
+        for template, reaction in list(self._reactions):
+            if template.matches(item):
+                reaction(item)
+
+    # -- non-blocking reads ------------------------------------------------------
+
+    def rdp(self, template: object) -> Optional[Tuple]:
+        """Non-blocking read: a matching tuple, or None (not removed)."""
+        pattern = as_template(template)
+        for item in self.tuples:
+            if pattern.matches(item):
+                return item
+        return None
+
+    def inp(self, template: object) -> Optional[Tuple]:
+        """Non-blocking take: remove and return a match, or None."""
+        pattern = as_template(template)
+        for index, item in enumerate(self.tuples):
+            if pattern.matches(item):
+                del self.tuples[index]
+                return item
+        return None
+
+    def rd_all(self, template: object) -> List[Tuple]:
+        """All currently matching tuples (not removed)."""
+        pattern = as_template(template)
+        return [item for item in self.tuples if pattern.matches(item)]
+
+    def in_all(self, template: object) -> List[Tuple]:
+        """Remove and return all currently matching tuples."""
+        pattern = as_template(template)
+        taken = [item for item in self.tuples if pattern.matches(item)]
+        self.tuples = [item for item in self.tuples if not pattern.matches(item)]
+        return taken
+
+    # -- blocking reads -------------------------------------------------------------
+
+    def rd(self, template: object) -> Event:
+        """Blocking read: an event firing with a matching tuple."""
+        return self._wait(as_template(template), take=False)
+
+    def in_(self, template: object) -> Event:
+        """Blocking take: an event firing with the removed tuple."""
+        return self._wait(as_template(template), take=True)
+
+    def _wait(self, pattern: Template, take: bool) -> Event:
+        event = Event(self.env)
+        existing = self.inp(pattern) if take else self.rdp(pattern)
+        if existing is not None:
+            event.succeed(existing)
+            return event
+        self._waiters.append((pattern, event, take))
+        return event
+
+    def _serve_waiters(self) -> None:
+        remaining = []
+        for pattern, event, take in self._waiters:
+            if event.triggered:
+                continue
+            found = self.inp(pattern) if take else self.rdp(pattern)
+            if found is not None:
+                event.succeed(found)
+            else:
+                remaining.append((pattern, event, take))
+        self._waiters = remaining
+
+    # -- reactions -------------------------------------------------------------------
+
+    def react(self, template: object, reaction: Reaction) -> Callable[[], None]:
+        """Fire ``reaction(tuple)`` for every future matching ``out``.
+
+        Returns an unsubscribe callable.
+        """
+        entry = (as_template(template), reaction)
+        self._reactions.append(entry)
+
+        def unsubscribe() -> None:
+            if entry in self._reactions:
+                self._reactions.remove(entry)
+
+        return unsubscribe

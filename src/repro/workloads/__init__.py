@@ -1,0 +1,5 @@
+"""Workload generators for the experiment suite."""
+
+from .generators import TASK_CLASSES, adhoc_fleet, mixed_tasks, zipf_indices
+
+__all__ = ["TASK_CLASSES", "adhoc_fleet", "mixed_tasks", "zipf_indices"]

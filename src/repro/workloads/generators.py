@@ -1,0 +1,143 @@
+"""Workload generators shared by the experiment benchmarks."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from ..core import MobileHost, TaskProfile, World, mutual_trust, standard_host
+from ..net import Area, LinkTechnology, WIFI_ADHOC, grid_positions
+
+
+def zipf_indices(
+    rng: random.Random, catalogue_size: int, count: int, exponent: float = 1.0
+) -> List[int]:
+    """``count`` catalogue indices drawn Zipf(``exponent``) — index 0 hottest."""
+    if catalogue_size <= 0:
+        raise ValueError("catalogue must be non-empty")
+    weights = [1.0 / (rank + 1) ** exponent for rank in range(catalogue_size)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cumulative.append(acc)
+    draws = []
+    for _ in range(count):
+        u = rng.random()
+        for index, threshold in enumerate(cumulative):
+            if u <= threshold:
+                draws.append(index)
+                break
+        else:  # floating point tail
+            draws.append(catalogue_size - 1)
+    return draws
+
+
+def adhoc_fleet(
+    world: World,
+    count: int,
+    area: Area,
+    technologies: Sequence[LinkTechnology] = (WIFI_ADHOC,),
+    placement: str = "random",
+    prefix: str = "n",
+    cpu_speed: float = 0.5,
+) -> List[MobileHost]:
+    """``count`` mutually trusting ad-hoc hosts placed in ``area``.
+
+    ``placement`` is ``"random"`` (from the world's seeded stream) or
+    ``"grid"`` (deterministic, for density sweeps).
+    """
+    if placement == "grid":
+        positions = grid_positions(count, area)
+    elif placement == "random":
+        rng = world.streams.stream("fleet.placement")
+        positions = [area.random_position(rng) for _ in range(count)]
+    else:
+        raise ValueError(f"unknown placement {placement!r}")
+    hosts = [
+        standard_host(
+            world,
+            f"{prefix}{index}",
+            positions[index],
+            technologies,
+            cpu_speed=cpu_speed,
+        )
+        for index in range(count)
+    ]
+    mutual_trust(*hosts)
+    return hosts
+
+
+#: The mixed task classes of experiment E7, with generation weights.
+TASK_CLASSES: Dict[str, dict] = {
+    # Quick one-shot lookups: CS territory.
+    "lookup": dict(
+        interactions=1,
+        request_bytes=128,
+        reply_bytes=512,
+        code_bytes=40_000,
+        result_bytes=256,
+        work_units=5_000,
+        expected_reuses=1,
+        weight=0.4,
+    ),
+    # Chatty bulk processing over many rounds: REV territory.
+    "bulk": dict(
+        interactions=80,
+        request_bytes=512,
+        reply_bytes=4_096,
+        code_bytes=25_000,
+        result_bytes=512,
+        work_units=20_000,
+        expected_reuses=1,
+        weight=0.25,
+    ),
+    # A capability exercised over and over: COD territory.
+    "capability": dict(
+        interactions=2,
+        request_bytes=128,
+        reply_bytes=1_024,
+        code_bytes=60_000,
+        result_bytes=128,
+        work_units=3_000,
+        expected_reuses=50,
+        weight=0.25,
+    ),
+    # Multi-host errands: MA territory.
+    "errand": dict(
+        interactions=4,
+        request_bytes=128,
+        reply_bytes=6_000,
+        code_bytes=12_000,
+        result_bytes=256,
+        work_units=5_000,
+        expected_reuses=1,
+        hosts_to_visit=5,
+        weight=0.1,
+    ),
+}
+
+
+def mixed_tasks(
+    rng: random.Random,
+    count: int,
+    local_speed: float = 0.2,
+    remote_speed: float = 1.0,
+) -> List[Tuple[str, TaskProfile]]:
+    """A randomized stream of (class name, profile) pairs for E7."""
+    names = list(TASK_CLASSES)
+    weights = [TASK_CLASSES[name]["weight"] for name in names]
+    tasks = []
+    for _ in range(count):
+        name = rng.choices(names, weights=weights)[0]
+        spec = {
+            key: value
+            for key, value in TASK_CLASSES[name].items()
+            if key != "weight"
+        }
+        profile = TaskProfile(
+            local_speed=local_speed, remote_speed=remote_speed, **spec
+        )
+        tasks.append((name, profile))
+    return tasks

@@ -1,0 +1,257 @@
+"""Integration tests: disaster messaging, shopping agents, offloading."""
+
+import pytest
+
+from repro.apps import (
+    DeliveryLog,
+    run_local,
+    run_offloaded,
+    AdaptiveOffloader,
+    make_vendor,
+    send_via_agent,
+    send_via_cs,
+    shop_interactively,
+    shop_with_agent,
+)
+from repro.core import World, mutual_trust, standard_host
+from repro.net import (
+    GPRS,
+    LAN,
+    PathMobility,
+    Position,
+    WIFI_ADHOC,
+)
+from tests.core.conftest import loss_free, run
+
+
+class TestDisasterMessaging:
+    def static_chain(self, spacing):
+        """A line of nodes; spacing > 100 means no end-to-end path."""
+        world = loss_free(World(seed=31))
+        hosts = [
+            standard_host(world, f"n{i}", Position(i * spacing, 0), [WIFI_ADHOC])
+            for i in range(4)
+        ]
+        mutual_trust(*hosts)
+        return world, hosts
+
+    def test_cs_succeeds_when_connected(self):
+        world, hosts = self.static_chain(spacing=50)
+
+        def go():
+            report = yield from send_via_cs(hosts[0], "n1", "help", ttl=30.0)
+            return report
+
+        report = run(world, go())
+        assert report.delivered
+        assert report.attempts == 1
+
+    def test_cs_fails_when_partitioned(self):
+        world, hosts = self.static_chain(spacing=500)
+
+        def go():
+            report = yield from send_via_cs(
+                hosts[0], "n3", "help", ttl=20.0, retry_interval=5.0
+            )
+            return report
+
+        report = run(world, go())
+        assert not report.delivered
+        assert report.attempts >= 3
+
+    def test_agent_delivers_to_direct_neighbor(self):
+        world, hosts = self.static_chain(spacing=50)
+        log = DeliveryLog(hosts[1])
+        send_via_agent(hosts[0], "n1", "help", ttl=60.0)
+        world.run(until=30.0)
+        assert log.payloads() == ["help"]
+
+    def test_agent_rides_mobility_across_partition(self):
+        world = loss_free(World(seed=32))
+        alice = standard_host(world, "alice", Position(0, 0), [WIFI_ADHOC])
+        mule = standard_host(world, "mule", Position(50, 0), [WIFI_ADHOC])
+        bob = standard_host(world, "bob", Position(1000, 0), [WIFI_ADHOC])
+        mutual_trust(alice, mule, bob)
+        # The mule walks from alice's side over to bob.
+        PathMobility(
+            world.env,
+            {"mule": mule.node},
+            {"mule": [(5.0, Position(50, 0)), (60.0, Position(990, 0))]},
+        )
+        log = DeliveryLog(bob)
+        send_via_agent(alice, "bob", "sos", ttl=300.0)
+        world.run(until=200.0)
+        assert log.payloads() == ["sos"]
+        # CS could never have done this: no end-to-end path ever existed
+        # at any single instant... verify at start at least:
+        assert not world.network.connected("alice", "bob")
+
+    def test_agent_expires_when_stranded(self):
+        world, hosts = self.static_chain(spacing=500)
+        runtime = hosts[0].component("agents")
+        agent_id = send_via_agent(hosts[0], "n3", "help", ttl=20.0)
+        world.run(until=60.0)
+        final = runtime.completed.get(agent_id)
+        assert final is not None
+        assert final["outcome"] == "died"
+
+
+def shopping_world(vendor_count=3):
+    world = loss_free(World(seed=33))
+    device = standard_host(world, "device", Position(0, 0), [GPRS], cpu_speed=0.2)
+    device.node.interface("gprs").attach()
+    vendors = []
+    prices = {}
+    for index in range(vendor_count):
+        vendor = standard_host(
+            world, f"shop{index}", Position(0, 0), [LAN], fixed=True
+        )
+        price = 100.0 - 10.0 * index
+        make_vendor(vendor, {"camera": price})
+        prices[vendor.id] = price
+        vendors.append(vendor)
+    mutual_trust(device, *vendors)
+    return world, device, vendors, prices
+
+
+class TestShopping:
+    def test_agent_finds_best_price_and_buys(self):
+        world, device, vendors, prices = shopping_world()
+
+        def go():
+            final = yield from shop_with_agent(
+                device, "camera", [v.id for v in vendors]
+            )
+            return final
+
+        final = run(world, go())
+        assert final["outcome"] == "completed"
+        best_vendor, best_price = final["best"]
+        assert best_price == min(prices.values())
+        assert final["receipt"]["charged"] == best_price
+
+    def test_agent_skips_crashed_vendor(self):
+        world, device, vendors, prices = shopping_world()
+        vendors[2].node.crash()  # the cheapest one is gone
+
+        def go():
+            final = yield from shop_with_agent(
+                device, "camera", [v.id for v in vendors]
+            )
+            return final
+
+        final = run(world, go())
+        assert final["outcome"] == "completed"
+        assert final["best"][1] == 90.0  # second cheapest
+
+    def test_interactive_browsing_buys_same_product(self):
+        world, device, vendors, prices = shopping_world()
+
+        def go():
+            report = yield from shop_interactively(
+                device, "camera", [v.id for v in vendors], think_time_s=0.5
+            )
+            return report
+
+        report = run(world, go())
+        assert report.best[1] == min(prices.values())
+        assert report.receipt["charged"] == min(prices.values())
+        assert report.pages_viewed == 3 * 5
+
+    def test_agent_moves_fewer_wireless_bytes_than_browsing(self):
+        world_a, device_a, vendors_a, _ = shopping_world()
+
+        def go_a():
+            final = yield from shop_with_agent(
+                device_a, "camera", [v.id for v in vendors_a]
+            )
+            return final
+
+        run(world_a, go_a())
+        agent_wireless = device_a.node.costs.wireless_bytes()
+
+        world_b, device_b, vendors_b, _ = shopping_world()
+
+        def go_b():
+            report = yield from shop_interactively(
+                device_b, "camera", [v.id for v in vendors_b], think_time_s=0.0
+            )
+            return report
+
+        run(world_b, go_b())
+        browse_wireless = device_b.node.costs.wireless_bytes()
+        assert agent_wireless < browse_wireless
+
+
+class TestOffloading:
+    def offload_world(self):
+        world = loss_free(World(seed=34))
+        device = standard_host(
+            world, "device", Position(0, 0), [WIFI_ADHOC], cpu_speed=0.1
+        )
+        server = standard_host(
+            world,
+            "server",
+            Position(10, 0),
+            [WIFI_ADHOC],
+            fixed=True,
+            cpu_speed=4.0,
+        )
+        mutual_trust(device, server)
+        return world, device, server
+
+    def test_local_run_time_matches_model(self):
+        world, device, server = self.offload_world()
+
+        def go():
+            report = yield from run_local(device, 1_000_000)
+            return report
+
+        report = run(world, go())
+        assert report.where == "local"
+        assert report.elapsed_s == pytest.approx(10.0)  # 1e6 units at 0.1x
+
+    def test_offload_beats_local_for_heavy_work(self):
+        world, device, server = self.offload_world()
+
+        def go():
+            local = yield from run_local(device, 20_000_000)
+            remote = yield from run_offloaded(device, "server", 20_000_000)
+            return local, remote
+
+        local, remote = run(world, go())
+        assert remote.elapsed_s < local.elapsed_s
+
+    def test_local_beats_offload_for_tiny_work(self):
+        world, device, server = self.offload_world()
+
+        def go():
+            local = yield from run_local(device, 1_000)
+            remote = yield from run_offloaded(device, "server", 1_000)
+            return local, remote
+
+        local, remote = run(world, go())
+        assert local.elapsed_s < remote.elapsed_s
+
+    def test_adaptive_offloader_picks_correctly(self):
+        world, device, server = self.offload_world()
+        offloader = AdaptiveOffloader(device, "server")
+
+        def go():
+            yield from offloader.run(1_000)
+            yield from offloader.run(50_000_000)
+
+        run(world, go())
+        assert offloader.decisions == ["local", "offload"]
+
+    def test_adaptive_offloader_stays_local_when_partitioned(self):
+        world, device, server = self.offload_world()
+        server.node.crash()
+        offloader = AdaptiveOffloader(device, "server")
+
+        def go():
+            report = yield from offloader.run(50_000_000)
+            return report
+
+        report = run(world, go())
+        assert report.where == "local"

@@ -1,0 +1,88 @@
+"""Integration tests: SMS-as-agents through a message centre."""
+
+import pytest
+
+from repro.apps import SmsInbox, send_sms
+from repro.core import World, mutual_trust, standard_host
+from repro.net import GPRS, LAN, Position
+from tests.core.conftest import loss_free, run
+
+
+def sms_world():
+    world = loss_free(World(seed=61))
+    sender = standard_host(world, "sender", Position(0, 0), [GPRS])
+    centre = standard_host(world, "centre", Position(0, 0), [LAN], fixed=True)
+    recipient = standard_host(world, "recipient", Position(0, 0), [GPRS])
+    mutual_trust(sender, centre, recipient)
+    sender.node.interface("gprs").attach()
+    # Recipient starts detached: phone off / out of coverage.
+    return world, sender, centre, recipient
+
+
+class TestSmsDelivery:
+    def test_immediate_delivery_when_recipient_attached(self):
+        world, sender, centre, recipient = sms_world()
+        recipient.node.interface("gprs").attach()
+        inbox = SmsInbox(recipient)
+        send_sms(sender, "centre", "recipient", "hello")
+        world.run(until=60.0)
+        assert inbox.texts() == ["hello"]
+
+    def test_parks_at_centre_until_recipient_attaches(self):
+        world, sender, centre, recipient = sms_world()
+        inbox = SmsInbox(recipient)
+        send_sms(sender, "centre", "recipient", "wake up", retry=2.0)
+        world.run(until=100.0)
+        assert inbox.texts() == []  # recipient still off
+        # Sender can even go offline; the agent waits at the centre.
+        sender.node.interface("gprs").detach()
+        recipient.node.interface("gprs").attach()
+        world.run(until=200.0)
+        assert inbox.texts() == ["wake up"]
+        assert inbox.messages[0]["from"] == "sender"
+
+    def test_ttl_expires_undelivered_message(self):
+        world, sender, centre, recipient = sms_world()
+        inbox = SmsInbox(recipient)
+        send_sms(sender, "centre", "recipient", "too late", ttl=30.0, retry=2.0)
+        world.run(until=100.0)
+        recipient.node.interface("gprs").attach()
+        world.run(until=200.0)
+        assert inbox.texts() == []
+        assert world.metrics.counter("agents.died").value == 1
+
+    def test_receipt_returns_to_sender(self):
+        world, sender, centre, recipient = sms_world()
+        recipient.node.interface("gprs").attach()
+        SmsInbox(recipient)
+        agent_id = send_sms(
+            sender, "centre", "recipient", "ping", receipt=True, retry=1.0
+        )
+        runtime = sender.component("agents")
+
+        def await_receipt():
+            final = yield runtime.completion(agent_id)
+            return final
+
+        final = run(world, await_receipt())
+        assert final["status"] == "delivered"
+        assert final["delivered_at"] > 0
+
+    def test_multiple_messages_queue_independently(self):
+        world, sender, centre, recipient = sms_world()
+        inbox = SmsInbox(recipient)
+        for index in range(3):
+            send_sms(sender, "centre", "recipient", f"msg-{index}", retry=2.0)
+        world.run(until=60.0)
+        recipient.node.interface("gprs").attach()
+        world.run(until=180.0)
+        assert sorted(inbox.texts()) == ["msg-0", "msg-1", "msg-2"]
+
+    def test_unreachable_centre_strands_agent(self):
+        world, sender, centre, recipient = sms_world()
+        centre.node.crash()
+        agent_id = send_sms(sender, "centre", "recipient", "void")
+        world.run(until=120.0)
+        final = sender.component("agents").completed.get(agent_id)
+        assert final is not None
+        assert final["outcome"] == "stranded"

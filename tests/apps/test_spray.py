@@ -1,0 +1,73 @@
+"""Integration tests for the spray-and-wait multi-copy messenger."""
+
+import pytest
+
+from repro.apps import DeliveryLog, send_via_spray
+from repro.core import World, mutual_trust, standard_host
+from repro.net import Area, PathMobility, Position, WIFI_ADHOC
+from repro.workloads import adhoc_fleet
+from tests.core.conftest import loss_free
+
+
+class TestSprayMessenger:
+    def test_invalid_copies(self):
+        world = loss_free(World(seed=95))
+        a = standard_host(world, "a", Position(0, 0), [WIFI_ADHOC])
+        with pytest.raises(ValueError):
+            send_via_spray(a, "b", "x", copies=0)
+
+    def test_direct_neighbor_delivery(self):
+        world = loss_free(World(seed=95))
+        a = standard_host(world, "a", Position(0, 0), [WIFI_ADHOC])
+        b = standard_host(world, "b", Position(50, 0), [WIFI_ADHOC])
+        mutual_trust(a, b)
+        log = DeliveryLog(b)
+        send_via_spray(a, "b", "hello", copies=4, ttl=60.0)
+        world.run(until=30.0)
+        assert "hello" in [payload for _v, payload, _t in log.received]
+
+    def test_spraying_replicates_to_relays(self):
+        world = loss_free(World(seed=96))
+        source = standard_host(world, "src", Position(0, 0), [WIFI_ADHOC])
+        relays = [
+            standard_host(world, f"r{i}", Position(40 + i, 0), [WIFI_ADHOC])
+            for i in range(3)
+        ]
+        # Destination far away: only spraying happens for now.
+        destination = standard_host(
+            world, "dst", Position(5000, 0), [WIFI_ADHOC]
+        )
+        mutual_trust(source, destination, *relays)
+        send_via_spray(source, "dst", "sos", copies=8, ttl=120.0, beat=1.0)
+        world.run(until=60.0)
+        assert world.metrics.counter("agents.clones").value >= 1
+
+    def test_relayed_copy_delivers_via_mobility(self):
+        world = loss_free(World(seed=97))
+        source = standard_host(world, "src", Position(0, 0), [WIFI_ADHOC])
+        mule = standard_host(world, "mule", Position(50, 0), [WIFI_ADHOC])
+        destination = standard_host(
+            world, "dst", Position(2000, 0), [WIFI_ADHOC]
+        )
+        mutual_trust(source, mule, destination)
+        PathMobility(
+            world.env,
+            {"mule": mule.node},
+            {"mule": [(10.0, Position(50, 0)), (120.0, Position(1990, 0))]},
+        )
+        log = DeliveryLog(destination)
+        send_via_spray(source, "dst", "sos", copies=4, ttl=600.0)
+        world.run(until=400.0)
+        payloads = [payload for _v, payload, _t in log.received]
+        assert "sos" in payloads
+
+    def test_single_copy_waits_instead_of_spraying(self):
+        world = loss_free(World(seed=98))
+        source = standard_host(world, "src", Position(0, 0), [WIFI_ADHOC])
+        relay = standard_host(world, "relay", Position(50, 0), [WIFI_ADHOC])
+        standard_host(world, "dst", Position(5000, 0), [WIFI_ADHOC])
+        mutual_trust(source, relay)
+        send_via_spray(source, "dst", "sos", copies=1, ttl=60.0)
+        world.run(until=70.0)
+        # Wait phase: no cloning to the relay ever happens.
+        assert world.metrics.counter("agents.clones").value == 0

@@ -1,0 +1,102 @@
+"""Unit tests for agent cloning (multi-copy dissemination support)."""
+
+import pytest
+
+from repro.core import Agent, World, mutual_trust, standard_host
+from repro.errors import MigrationError
+from repro.net import Position, WIFI_ADHOC
+from tests.core.conftest import run
+
+
+class Cloner(Agent):
+    """Clones itself to state['target'], then finishes locally."""
+
+    def on_arrival(self, context):
+        if self.state.get("is_clone_run"):
+            # Behaviour at the clone's host.
+            self.state["ran_at"] = context.host_id
+            yield from context.sleep(0)
+            return
+        self.state["is_clone_run"] = True
+        clone_id = yield from context.clone_to(str(self.state["target"]))
+        self.state["clone_id"] = clone_id
+        self.state["still_here"] = context.host_id
+
+
+class TestCloning:
+    def test_clone_runs_remotely_and_original_continues(self, adhoc_pair):
+        a, b = adhoc_pair
+        runtime_a = a.component("agents")
+        runtime_b = b.component("agents")
+        agent_id = runtime_a.launch(Cloner(), target="b")
+
+        def go():
+            final = yield runtime_a.completion(agent_id)
+            return final
+
+        final = run(a.world, go())
+        assert final["still_here"] == "a"
+        clone_id = final["clone_id"]
+        assert clone_id == f"{agent_id}.c1"
+        a.world.run(until=a.world.now + 10.0)
+        clone_final = runtime_b.completed.get(clone_id)
+        assert clone_final is not None
+        assert clone_final["ran_at"] == "b"
+        assert clone_final["hops"] == 1
+
+    def test_clone_ids_unique_per_clone(self, adhoc_pair):
+        a, b = adhoc_pair
+
+        class DoubleCloner(Agent):
+            def on_arrival(self, context):
+                if self.state.get("is_clone_run"):
+                    yield from context.sleep(0)
+                    return
+                self.state["is_clone_run"] = True
+                first = yield from context.clone_to("b")
+                second = yield from context.clone_to("b")
+                self.state["ids"] = [first, second]
+
+        runtime = a.component("agents")
+        agent_id = runtime.launch(DoubleCloner())
+
+        def go():
+            final = yield runtime.completion(agent_id)
+            return final
+
+        final = run(a.world, go())
+        assert final["ids"][0] != final["ids"][1]
+        assert a.world.metrics.counter("agents.clones").value == 2
+
+    def test_clone_to_unreachable_raises_and_preserves_state(self, world):
+        a = standard_host(world, "a", Position(0, 0), [WIFI_ADHOC])
+        standard_host(world, "far", Position(9000, 0), [WIFI_ADHOC])
+
+        class TryClone(Agent):
+            def on_arrival(self, context):
+                try:
+                    yield from context.clone_to("far")
+                except MigrationError:
+                    self.state["failed"] = True
+
+        runtime = a.component("agents")
+        agent_id = runtime.launch(TryClone())
+        world.run(until=120.0)
+        final = runtime.completed[agent_id]
+        assert final["failed"] is True
+        assert final.get("clones_made", 0) == 0
+
+    def test_clone_does_not_inherit_parent_clone_counter(self, adhoc_pair):
+        a, b = adhoc_pair
+        runtime_a = a.component("agents")
+        runtime_b = b.component("agents")
+        agent_id = runtime_a.launch(Cloner(), target="b")
+
+        def go():
+            final = yield runtime_a.completion(agent_id)
+            return final
+
+        final = run(a.world, go())
+        a.world.run(until=a.world.now + 10.0)
+        clone_final = runtime_b.completed[final["clone_id"]]
+        assert clone_final.get("clones_made", 0) == 0

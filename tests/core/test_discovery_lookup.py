@@ -1,0 +1,236 @@
+"""Unit tests for decentralised discovery and the Jini-like lookup baseline."""
+
+import pytest
+
+from repro.core import (
+    Discovery,
+    LookupClient,
+    LookupServer,
+    World,
+    mutual_trust,
+    service,
+    standard_host,
+)
+from repro.errors import ServiceNotFound
+from repro.net import GPRS, LAN, Position, WIFI_ADHOC
+from tests.core.conftest import run
+
+
+class TestDiscovery:
+    def test_query_finds_in_range_provider(self, adhoc_pair):
+        a, b = adhoc_pair
+        b.component("discovery").advertise(
+            service("printer", "b", "office", {"color": "yes"})
+        )
+
+        def go():
+            found = yield from a.component("discovery").find("printer")
+            return found
+
+        found = run(a.world, go())
+        assert [s.provider for s in found] == ["b"]
+
+    def test_attribute_filtering(self, adhoc_pair):
+        a, b = adhoc_pair
+        b.component("discovery").advertise(
+            service("printer", "b", "mono", {"color": "no"})
+        )
+
+        def go():
+            found = yield from a.component("discovery").find(
+                "printer", attributes={"color": "yes"}
+            )
+            return found
+
+        assert run(a.world, go()) == []
+
+    def test_out_of_range_provider_not_found(self, world):
+        a = standard_host(world, "a", Position(0, 0), [WIFI_ADHOC])
+        far = standard_host(world, "far", Position(5000, 0), [WIFI_ADHOC])
+        far.component("discovery").advertise(service("printer", "far", "x"))
+
+        def go():
+            found = yield from a.component("discovery").find("printer")
+            return found
+
+        assert run(world, go()) == []
+
+    def test_own_services_match(self, adhoc_pair):
+        a, _ = adhoc_pair
+        a.component("discovery").advertise(service("printer", "a", "mine"))
+
+        def go():
+            found = yield from a.component("discovery").find("printer")
+            return found
+
+        assert [s.provider for s in run(a.world, go())] == ["a"]
+
+    def test_cache_hit_avoids_radio(self, adhoc_pair):
+        a, b = adhoc_pair
+        b.component("discovery").advertise(service("printer", "b", "office"))
+
+        def go():
+            first = yield from a.component("discovery").find("printer")
+            second = yield from a.component("discovery").find("printer")
+            return first, second
+
+        first, second = run(a.world, go())
+        assert first and second
+        assert a.world.metrics.counter("disc.cache_hits").value == 1
+        assert a.world.metrics.counter("disc.queries").value == 1
+
+    def test_cache_expires(self, adhoc_pair):
+        a, b = adhoc_pair
+        b.component("discovery").advertise(service("printer", "b", "office"))
+
+        def go():
+            yield from a.component("discovery").find("printer")
+            yield a.world.env.timeout(100.0)  # past cache_ttl
+            found = yield from a.component("discovery").find("printer")
+            return found
+
+        run(a.world, go())
+        assert a.world.metrics.counter("disc.queries").value == 2
+
+    def test_withdraw_stops_matching(self, adhoc_pair):
+        a, b = adhoc_pair
+        description = service("printer", "b", "office")
+        b.component("discovery").advertise(description)
+        b.component("discovery").withdraw(description.key)
+
+        def go():
+            found = yield from a.component("discovery").find("printer")
+            return found
+
+        assert run(a.world, go()) == []
+
+    def test_cache_hit_still_includes_own_services(self, adhoc_pair):
+        a, b = adhoc_pair
+        b.component("discovery").advertise(service("printer", "b", "remote"))
+        a.component("discovery").advertise(service("printer", "a", "mine"))
+
+        def go():
+            first = yield from a.component("discovery").find("printer")
+            second = yield from a.component("discovery").find("printer")
+            return first, second
+
+        first, second = run(a.world, go())
+        assert {s.provider for s in first} == {"a", "b"}
+        # The second lookup answers from cache but must not lose "a".
+        assert {s.provider for s in second} == {"a", "b"}
+        assert a.world.metrics.counter("disc.cache_hits").value == 1
+
+    def test_beaconing_populates_cache(self, world):
+        a = standard_host(world, "a", Position(0, 0), [WIFI_ADHOC])
+        b = standard_host(
+            world, "b", Position(10, 0), [WIFI_ADHOC], beacon_interval=1.0
+        )
+        mutual_trust(a, b)
+        b.component("discovery").advertise(service("printer", "b", "office"))
+        world.run(until=3.0)
+        assert a.component("discovery").cache  # heard at least one beacon
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Discovery(beacon_interval=0.0)
+        with pytest.raises(ValueError):
+            Discovery(cache_ttl=0.0)
+
+
+def lookup_world():
+    from tests.core.conftest import loss_free
+
+    world = loss_free(World(seed=9))
+    server = standard_host(world, "lus", Position(0, 0), [LAN], fixed=True)
+    server.add_component(LookupServer(lease_duration=20.0))
+    provider = standard_host(world, "prov", Position(0, 0), [LAN], fixed=True)
+    provider.add_component(LookupClient("lus"))
+    client = standard_host(world, "cli", Position(0, 0), [GPRS])
+    client.add_component(LookupClient("lus"))
+    client.node.interface("gprs").attach()
+    mutual_trust(server, provider, client)
+    return world, server, provider, client
+
+
+class TestLookup:
+    def test_register_and_find(self):
+        world, server, provider, client = lookup_world()
+
+        def go():
+            yield from provider.component("lookup-client").register(
+                service("ticketing", "prov", "cinema")
+            )
+            found = yield from client.component("lookup-client").find("ticketing")
+            return found
+
+        found = run(world, go())
+        assert [s.provider for s in found] == ["prov"]
+
+    def test_lease_expiry_without_renewal(self):
+        world, server, provider, client = lookup_world()
+
+        def go():
+            yield from provider.component("lookup-client").register(
+                service("ticketing", "prov", "cinema")
+            )
+            # Stop the renewer by withdrawing client-side only.
+            provider.component("lookup-client")._registered.clear()
+            yield world.env.timeout(60.0)
+            found = yield from client.component("lookup-client").find("ticketing")
+            return found
+
+        assert run(world, go()) == []
+
+    def test_renewal_keeps_registration_alive(self):
+        world, server, provider, client = lookup_world()
+
+        def go():
+            yield from provider.component("lookup-client").register(
+                service("ticketing", "prov", "cinema")
+            )
+            yield world.env.timeout(90.0)  # several lease periods
+            found = yield from client.component("lookup-client").find("ticketing")
+            return found
+
+        assert len(run(world, go())) == 1
+
+    def test_withdraw_removes(self):
+        world, server, provider, client = lookup_world()
+
+        def go():
+            description = service("ticketing", "prov", "cinema")
+            yield from provider.component("lookup-client").register(description)
+            yield from provider.component("lookup-client").withdraw(description.key)
+            found = yield from client.component("lookup-client").find("ticketing")
+            return found
+
+        assert run(world, go()) == []
+
+    def test_unreachable_server_raises_service_not_found(self):
+        world, server, provider, client = lookup_world()
+
+        def go():
+            yield from provider.component("lookup-client").register(
+                service("ticketing", "prov", "cinema")
+            )
+            server.node.crash()
+            yield from client.component("lookup-client").find("ticketing")
+
+        with pytest.raises(ServiceNotFound):
+            run(world, go())
+
+    def test_server_restart_recovers_after_reregistration(self):
+        world, server, provider, client = lookup_world()
+
+        def go():
+            lookup = provider.component("lookup-client")
+            yield from lookup.register(service("ticketing", "prov", "cinema"))
+            server.node.crash()
+            server.component("lookup-server").registrations.clear()
+            yield world.env.timeout(5.0)
+            server.node.restart()
+            yield from lookup.register(service("ticketing", "prov", "cinema2"))
+            found = yield from client.component("lookup-client").find("ticketing")
+            return found
+
+        assert len(run(world, go())) >= 1

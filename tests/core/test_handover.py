@@ -1,0 +1,95 @@
+"""Unit tests for vertical handover management."""
+
+import pytest
+
+from repro.core import HandoverManager, World, mutual_trust, standard_host
+from repro.net import GPRS, LAN, Position, WIFI_ADHOC
+from tests.core.conftest import loss_free
+
+
+def build():
+    world = loss_free(World(seed=71))
+    device = standard_host(
+        world, "device", Position(0, 0), [WIFI_ADHOC, GPRS]
+    )
+    hub = standard_host(
+        world, "hub", Position(20, 0), [WIFI_ADHOC, LAN], fixed=True
+    )
+    mutual_trust(device, hub)
+    return world, device, hub
+
+
+class TestHandoverManager:
+    def test_stays_detached_inside_hotspot(self):
+        world, device, hub = build()
+        HandoverManager(device, "hub", interval=1.0)
+        world.run(until=5.0)
+        assert not device.node.interface("gprs").attached
+        assert world.network.connected("device", "hub")
+
+    def test_attaches_gprs_when_leaving_hotspot(self):
+        world, device, hub = build()
+        manager = HandoverManager(device, "hub", interval=1.0)
+        world.run(until=2.0)
+        device.node.move_to(Position(5000, 0))
+        world.run(until=6.0)
+        assert device.node.interface("gprs").attached
+        assert world.network.connected("device", "hub")
+        assert ("attach", "gprs") in [
+            (kind, tech) for _t, kind, tech in manager.handovers
+        ]
+
+    def test_detaches_again_on_return(self):
+        world, device, hub = build()
+        manager = HandoverManager(device, "hub", interval=1.0)
+        device.node.move_to(Position(5000, 0))
+        world.run(until=4.0)
+        assert device.node.interface("gprs").attached
+        device.node.move_to(Position(10, 0))
+        world.run(until=8.0)
+        assert not device.node.interface("gprs").attached
+        kinds = [kind for _t, kind, _tech in manager.handovers]
+        assert kinds.count("attach") == 1
+        assert kinds.count("detach") == 1
+
+    def test_airtime_billed_only_while_attached(self):
+        world, device, hub = build()
+        # Swap GPRS for dial-up to get per-minute billing.
+        world2 = loss_free(World(seed=72))
+        from repro.net import DIALUP
+
+        device2 = standard_host(
+            world2, "device", Position(0, 0), [WIFI_ADHOC, DIALUP]
+        )
+        hub2 = standard_host(
+            world2, "hub", Position(20, 0), [WIFI_ADHOC, LAN], fixed=True
+        )
+        mutual_trust(device2, hub2)
+        HandoverManager(device2, "hub", interval=1.0)
+        world2.run(until=10.0)  # in hotspot: no dial-up, no cost
+        assert device2.node.costs.money == 0.0
+        device2.node.move_to(Position(5000, 0))
+        world2.run(until=70.0)
+        device2.node.move_to(Position(10, 0))
+        world2.run(until=80.0)
+        device2.node.settle_airtime()
+        assert device2.node.costs.money > 0.0
+
+    def test_unknown_reference_peer_attaches_metered(self):
+        world, device, hub = build()
+        HandoverManager(device, "ghost", interval=1.0)
+        world.run(until=3.0)
+        # No free path can be proven, so the metered fallback attaches.
+        assert device.node.interface("gprs").attached
+
+    def test_invalid_interval(self):
+        world, device, hub = build()
+        with pytest.raises(ValueError):
+            HandoverManager(device, "hub", interval=0.0)
+
+    def test_crashed_host_makes_no_decisions(self):
+        world, device, hub = build()
+        manager = HandoverManager(device, "hub", interval=1.0)
+        device.node.crash()
+        world.run(until=5.0)
+        assert manager.handovers == []

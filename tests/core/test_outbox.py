@@ -1,0 +1,107 @@
+"""Unit tests for disconnected operation (the Outbox component)."""
+
+import pytest
+
+from repro.core import Outbox, World, mutual_trust, standard_host
+from repro.errors import MiddlewareError, ServiceNotFound
+from repro.net import GPRS, LAN, Position
+from tests.core.conftest import loss_free, run
+
+
+def build():
+    world = loss_free(World(seed=211))
+    device = standard_host(world, "device", Position(0, 0), [GPRS])
+    device.add_component(Outbox(flush_interval=1.0))
+    server = standard_host(world, "server", Position(0, 0), [LAN], fixed=True)
+    server.register_service("log", lambda args, host: (f"logged:{args}", 32))
+    mutual_trust(device, server)
+    return world, device, server
+
+
+class TestOutbox:
+    def test_immediate_delivery_when_connected(self):
+        world, device, server = build()
+        device.node.interface("gprs").attach()
+        completion = device.component("outbox").call_eventually(
+            "server", "log", "hello"
+        )
+
+        def go():
+            result = yield completion
+            return result
+
+        assert run(world, go()) == "logged:hello"
+
+    def test_queues_while_disconnected_flushes_on_reconnect(self):
+        world, device, server = build()
+        outbox = device.component("outbox")
+        completion = outbox.call_eventually("server", "log", "offline-note")
+        world.run(until=10.0)
+        assert outbox.pending == 1
+        assert not completion.triggered
+        device.node.interface("gprs").attach()
+
+        def go():
+            result = yield completion
+            return result, world.now
+
+        result, finished = run(world, go())
+        assert result == "logged:offline-note"
+        assert outbox.pending == 0
+        assert finished > 10.0
+
+    def test_order_preserved_across_reconnect(self):
+        world, device, server = build()
+        received = []
+        server.unregister_service("log")
+        server.register_service(
+            "log", lambda args, host: (received.append(args) or len(received), 8)
+        )
+        outbox = device.component("outbox")
+        for index in range(3):
+            outbox.call_eventually("server", "log", index)
+        world.run(until=5.0)
+        device.node.interface("gprs").attach()
+        world.run(until=30.0)
+        assert received == [0, 1, 2]
+
+    def test_ttl_expiry_fails_entry(self):
+        world, device, server = build()
+        outbox = device.component("outbox")
+        completion = outbox.call_eventually(
+            "server", "log", "too-late", ttl=5.0
+        )
+        world.run(until=20.0)  # never connected
+        assert outbox.expired == 1
+        assert completion.triggered and not completion.ok
+        assert isinstance(completion.value, MiddlewareError)
+
+    def test_fire_and_forget_expiry_does_not_crash_simulation(self):
+        world, device, server = build()
+        device.component("outbox").call_eventually(
+            "server", "log", "ignored", ttl=2.0
+        )
+        world.run(until=30.0)  # no crash from the undelivered failure
+
+    def test_definitive_remote_error_not_retried(self):
+        world, device, server = build()
+        device.node.interface("gprs").attach()
+        outbox = device.component("outbox")
+        completion = outbox.call_eventually("server", "no-such-service")
+        world.run(until=10.0)
+        assert completion.triggered and not completion.ok
+        assert isinstance(completion.value, ServiceNotFound)
+        assert outbox.pending == 0
+        completion._defused = True  # consumed by this assertion
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            Outbox(flush_interval=0.0)
+
+    def test_metrics_counted(self):
+        world, device, server = build()
+        device.node.interface("gprs").attach()
+        device.component("outbox").call_eventually("server", "log", 1)
+        world.run(until=10.0)
+        assert world.metrics.counter("outbox.queued").value == 1
+        assert world.metrics.counter("outbox.delivered").value == 1

@@ -1,0 +1,203 @@
+"""Edge cases across the paradigm components and message plumbing."""
+
+import pytest
+
+from repro.core import World, mutual_trust, standard_host
+from repro.errors import UnitNotFound
+from repro.lmu import CodeRepository, DataUnit, code_unit
+from repro.net import HEADER_BYTES, Message, Position, WIFI_ADHOC
+from tests.core.conftest import run
+
+
+class TestMessagePlumbing:
+    def test_reply_correlation_fields(self):
+        request = Message("a", "b", "x.req", payload=1, size_bytes=10)
+        reply = request.reply("x.rep", payload=2, size_bytes=20)
+        assert reply.source == "b" and reply.destination == "a"
+        assert reply.in_reply_to == request.id
+        assert reply.id != request.id
+
+    def test_wire_size_includes_header(self):
+        message = Message("a", "b", "x", size_bytes=100)
+        assert message.wire_size == 100 + HEADER_BYTES
+
+    def test_message_ids_monotonic(self):
+        first = Message("a", "b", "x")
+        second = Message("a", "b", "x")
+        assert second.id > first.id
+
+
+class TestConcurrentCs:
+    def test_interleaved_calls_correlate_correctly(self, adhoc_pair):
+        a, b = adhoc_pair
+        b.register_service(
+            "slow", lambda args, host: (("slow", args), 16), work_units=500_000
+        )
+        b.register_service(
+            "fast", lambda args, host: (("fast", args), 16), work_units=1_000
+        )
+        results = {}
+
+        def caller(name, service, value):
+            result = yield from a.component("cs").call("b", service, value)
+            results[name] = result
+
+        a.world.env.process(caller("one", "slow", 1))
+        a.world.env.process(caller("two", "fast", 2))
+        a.world.run(until=30.0)
+        assert results["one"] == ("slow", 1)
+        assert results["two"] == ("fast", 2)
+
+    def test_many_outstanding_requests(self, adhoc_pair):
+        a, b = adhoc_pair
+        b.register_service("echo", lambda args, host: (args, 8))
+        received = []
+
+        def caller(value):
+            result = yield from a.component("cs").call("b", "echo", value)
+            received.append(result)
+
+        for value in range(10):
+            a.world.env.process(caller(value))
+        a.world.run(until=30.0)
+        assert sorted(received) == list(range(10))
+
+
+class TestRevEdgeCases:
+    def test_versioned_root_requirement(self, phone_and_server):
+        phone, server = phone_and_server
+
+        def factory():
+            def body(ctx):
+                return "v2"
+
+            return body
+
+        phone.codebase.install(code_unit("tool", "2.1.0", factory, 1000))
+
+        def go():
+            value = yield from phone.component("rev").evaluate(
+                "server", ["tool>=2.0"]
+            )
+            return value
+
+        assert run(phone.world, go()) == "v2"
+
+    def test_versioned_root_unsatisfied_locally(self, phone_and_server):
+        phone, _server = phone_and_server
+        phone.codebase.install(
+            code_unit("tool", "1.0.0", lambda: (lambda ctx: None), 1000)
+        )
+
+        def go():
+            yield from phone.component("rev").evaluate("server", ["tool>=2.0"])
+
+        with pytest.raises(UnitNotFound):
+            run(phone.world, go())
+
+    def test_empty_args_and_multiple_data_units(self, phone_and_server):
+        phone, server = phone_and_server
+
+        def factory():
+            def body(ctx):
+                data = ctx.service("data")
+                return sorted(data)
+
+            return body
+
+        phone.codebase.install(code_unit("lister", "1.0.0", factory, 1000))
+
+        def go():
+            value = yield from phone.component("rev").evaluate(
+                "server",
+                ["lister"],
+                data_units=[
+                    DataUnit("alpha", 1, 100),
+                    DataUnit("beta", 2, 100),
+                ],
+            )
+            return value
+
+        assert run(phone.world, go()) == ["alpha", "beta"]
+
+
+class TestCodEdgeCases:
+    def test_fetch_without_install(self, phone_and_server):
+        phone, server = phone_and_server
+        repository = CodeRepository()
+        repository.publish(
+            code_unit("tool", "1.0.0", lambda: (lambda ctx: None), 1000)
+        )
+        server.repository = repository
+
+        def go():
+            capsule = yield from phone.component("cod").fetch(
+                "server", ["tool"], install=False
+            )
+            return capsule
+
+        capsule = run(phone.world, go())
+        assert capsule.code_unit("tool") is not None
+        assert "tool" not in phone.codebase
+
+    def test_fetch_upgrade_over_installed_version(self, phone_and_server):
+        phone, server = phone_and_server
+        repository = CodeRepository()
+        repository.publish(
+            code_unit("tool", "1.2.0", lambda: (lambda ctx: "new"), 1000)
+        )
+        server.repository = repository
+        phone.codebase.install(
+            code_unit("tool", "1.0.0", lambda: (lambda ctx: "old"), 1000)
+        )
+
+        def go():
+            yield from phone.component("cod").fetch("server", ["tool"])
+
+        run(phone.world, go())
+        assert str(phone.codebase.get("tool").version) == "1.2.0"
+
+    def test_provider_serves_from_own_codebase_without_repository(
+        self, adhoc_pair
+    ):
+        a, b = adhoc_pair
+        assert b.repository is None
+        b.codebase.install(
+            code_unit("shared", "1.0.0", lambda: (lambda ctx: None), 1000)
+        )
+
+        def go():
+            yield from a.component("cod").fetch("b", ["shared"])
+
+        run(a.world, go())
+        assert "shared" in a.codebase
+
+
+class TestDiscoveryEdgeCases:
+    def test_find_with_zero_window_uses_cache_only(self, adhoc_pair):
+        a, b = adhoc_pair
+        from repro.core import service
+
+        b.component("discovery").advertise(service("printer", "b", "p"))
+
+        def go():
+            first = yield from a.component("discovery").find("printer")
+            # Cache now warm: an immediate re-find needs no radio round.
+            second = yield from a.component("discovery").find("printer")
+            return first, second
+
+        first, second = run(a.world, go())
+        assert first and second
+
+    def test_invalid_repeats_rejected(self, adhoc_pair):
+        a, _ = adhoc_pair
+
+        def go():
+            yield from a.component("discovery").find("printer", repeats=0)
+
+        with pytest.raises(ValueError):
+            run(a.world, go())
+
+    def test_withdraw_unknown_key_is_noop(self, adhoc_pair):
+        _, b = adhoc_pair
+        b.component("discovery").withdraw("no/such/key")

@@ -1,0 +1,111 @@
+"""Unit tests for the context-aware prefetcher."""
+
+import pytest
+
+from repro.core import (
+    PrefetchItem,
+    Prefetcher,
+    World,
+    mutual_trust,
+    standard_host,
+)
+from repro.lmu import CodeRepository, code_unit
+from repro.net import GPRS, LAN, Position, WIFI_INFRA
+from tests.core.conftest import loss_free
+
+
+def build(quota=float("inf")):
+    world = loss_free(World(seed=141))
+    device = standard_host(
+        world,
+        "device",
+        Position(0, 0),
+        [WIFI_INFRA, GPRS],
+        quota_bytes=quota,
+    )
+    repository = CodeRepository()
+    for index in range(4):
+        repository.publish(
+            code_unit(f"u{index}", "1.0.0", lambda: (lambda ctx: 0), 50_000)
+        )
+    store = standard_host(
+        world,
+        "store",
+        Position(10, 0),
+        [WIFI_INFRA, LAN],
+        fixed=True,
+        repository=repository,
+    )
+    mutual_trust(device, store)
+    device.node.interface("802.11b-infra").attach()
+    return world, device, store
+
+
+class TestPrefetcher:
+    def test_fetches_wishlist_on_free_link(self):
+        world, device, store = build()
+        wishlist = [PrefetchItem("u0", 1.0), PrefetchItem("u1", 0.5)]
+        Prefetcher(device, "store", wishlist, check_interval=1.0)
+        world.run(until=20.0)
+        assert "u0" in device.codebase and "u1" in device.codebase
+        assert world.metrics.counter("prefetch.fetched").value == 2
+
+    def test_popularity_order(self):
+        world, device, store = build()
+        wishlist = [PrefetchItem("u0", 0.1), PrefetchItem("u1", 0.9)]
+        prefetcher = Prefetcher(device, "store", wishlist, check_interval=1.0)
+        world.run(until=4.0)  # time for the first round only
+        assert prefetcher.prefetched[0] == "u1"
+
+    def test_no_prefetch_on_metered_link(self):
+        world, device, store = build()
+        device.node.interface("802.11b-infra").detach()
+        device.node.interface("gprs").attach()
+        Prefetcher(device, "store", [PrefetchItem("u0", 1.0)], check_interval=1.0)
+        world.run(until=20.0)
+        assert "u0" not in device.codebase
+        assert device.node.costs.money == 0.0  # never spent a thing
+
+    def test_budget_fraction_respected(self):
+        world, device, store = build(quota=200_000)
+        wishlist = [PrefetchItem(f"u{i}", 1.0 - i / 10) for i in range(4)]
+        prefetcher = Prefetcher(
+            device, "store", wishlist, budget_fraction=0.5, check_interval=1.0
+        )
+        world.run(until=40.0)
+        # 50% of 200kB = 100kB -> at most 2 units of 50kB get prefetched.
+        assert device.codebase.used_bytes <= 150_000
+        assert prefetcher.skipped_budget >= 1
+
+    def test_unfetchable_unit_dropped_from_wishlist(self):
+        world, device, store = build()
+        prefetcher = Prefetcher(
+            device, "store", [PrefetchItem("ghost", 1.0)], check_interval=1.0
+        )
+        world.run(until=10.0)
+        assert prefetcher.wishlist == []
+
+    def test_want_reranks(self):
+        world, device, store = build()
+        prefetcher = Prefetcher(device, "store", autostart=False)
+        prefetcher.want("u0", 0.2)
+        prefetcher.want("u1", 0.8)
+        prefetcher.want("u0", 0.9)  # re-rank
+        assert [item.unit_name for item in prefetcher.wishlist] == ["u0", "u1"]
+
+    def test_resumes_when_free_link_returns(self):
+        world, device, store = build()
+        device.node.interface("802.11b-infra").detach()
+        Prefetcher(device, "store", [PrefetchItem("u0", 1.0)], check_interval=1.0)
+        world.run(until=5.0)
+        assert "u0" not in device.codebase
+        device.node.interface("802.11b-infra").attach()
+        world.run(until=15.0)
+        assert "u0" in device.codebase
+
+    def test_invalid_parameters(self):
+        world, device, store = build()
+        with pytest.raises(ValueError):
+            Prefetcher(device, "store", budget_fraction=0.0)
+        with pytest.raises(ValueError):
+            Prefetcher(device, "store", check_interval=0.0)

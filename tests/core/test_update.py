@@ -1,0 +1,171 @@
+"""Unit tests for dynamic middleware self-update (hot swap vs reinstall)."""
+
+import pytest
+
+from repro.core import (
+    Discovery,
+    World,
+    component_unit,
+    mutual_trust,
+    standard_host,
+)
+from repro.errors import ComponentError
+from repro.lmu import CodeRepository, Version
+from repro.net import GPRS, LAN, Message, Position
+from tests.core.conftest import loss_free, run
+
+
+class DiscoveryV2(Discovery):
+    """An 'improved' discovery component to ship as an update."""
+
+    version = Version(1, 1, 0)
+
+
+def update_world():
+    world = loss_free(World(seed=11))
+    repository = CodeRepository()
+    repository.publish(component_unit(DiscoveryV2, version="1.1.0"))
+    phone = standard_host(world, "phone", Position(0, 0), [GPRS])
+    server = standard_host(
+        world, "server", Position(0, 0), [LAN], fixed=True,
+        repository=repository,
+    )
+    mutual_trust(phone, server)
+    phone.node.interface("gprs").attach()
+    return world, phone, server
+
+
+class TestHotSwap:
+    def test_swaps_component_version(self):
+        world, phone, server = update_world()
+        assert str(phone.component("discovery").version) == "1.0.0"
+
+        def go():
+            report = yield from phone.component("update").hot_swap(
+                "discovery", "server", "component:discovery"
+            )
+            return report
+
+        report = run(world, go())
+        assert report.strategy == "hot-swap"
+        assert report.old_version == "1.0.0"
+        assert report.new_version == "1.1.0"
+        assert str(phone.component("discovery").version) == "1.1.0"
+        assert isinstance(phone.component("discovery"), DiscoveryV2)
+
+    def test_downtime_much_smaller_than_fetch_time(self):
+        world, phone, server = update_world()
+
+        def go():
+            started = world.now
+            report = yield from phone.component("update").hot_swap(
+                "discovery", "server", "component:discovery"
+            )
+            return report, world.now - started
+
+        report, total = run(world, go())
+        assert report.downtime_s < total / 10.0
+
+    def test_swapped_component_serves_requests(self):
+        world, phone, server = update_world()
+
+        def go():
+            yield from phone.component("update").hot_swap(
+                "discovery", "server", "component:discovery"
+            )
+            found = yield from phone.component("discovery").find(
+                "anything", window=0.5
+            )
+            return found
+
+        assert run(world, go()) == []
+
+    def test_history_recorded(self):
+        world, phone, server = update_world()
+
+        def go():
+            yield from phone.component("update").hot_swap(
+                "discovery", "server", "component:discovery"
+            )
+
+        run(world, go())
+        assert len(phone.component("update").history) == 1
+
+    def test_wrong_component_kind_rejected(self):
+        world, phone, server = update_world()
+        from repro.core import ClientServer
+
+        class NotDiscovery(ClientServer):
+            version = Version(1, 1, 0)
+
+        server.repository.publish(
+            component_unit(NotDiscovery, unit_name="component:discovery2")
+        )
+
+        def go():
+            yield from phone.component("update").hot_swap(
+                "discovery", "server", "component:discovery2"
+            )
+
+        with pytest.raises(ComponentError):
+            run(world, go())
+
+
+class TestFullReinstall:
+    def test_reinstall_replaces_stack(self):
+        world, phone, server = update_world()
+
+        def go():
+            report = yield from phone.component("update").full_reinstall(
+                "server", {"discovery": "component:discovery"}
+            )
+            return report
+
+        report = run(world, go())
+        assert report.strategy == "reinstall"
+        assert "discovery@1.1.0" in report.new_version
+        assert str(phone.component("discovery").version) == "1.1.0"
+
+    def test_reinstall_downtime_exceeds_hot_swap(self):
+        world, phone, server = update_world()
+
+        def go():
+            reinstall = yield from phone.component("update").full_reinstall(
+                "server", {"discovery": "component:discovery"}
+            )
+            return reinstall
+
+        reinstall = run(world, go())
+
+        world2, phone2, server2 = update_world()
+
+        def go2():
+            swap = yield from phone2.component("update").hot_swap(
+                "discovery", "server", "component:discovery"
+            )
+            return swap
+
+        swap = run(world2, go2())
+        assert reinstall.downtime_s > swap.downtime_s
+
+    def test_messages_during_reinstall_are_lost(self):
+        world, phone, server = update_world()
+        # While the stack is down, an inbound cs.request goes unhandled.
+
+        def updater():
+            report = yield from phone.component("update").full_reinstall(
+                "server", {"discovery": "component:discovery"}
+            )
+            return report
+
+        def prodder():
+            yield world.env.timeout(0.2)
+            yield server.send(
+                Message("server", "phone", "disc.request", payload={})
+            )
+
+        update_process = world.env.process(updater())
+        world.env.process(prodder())
+        report = world.run(until=update_process)
+        world.run(until=world.now + 5.0)
+        assert report.requests_lost >= 1

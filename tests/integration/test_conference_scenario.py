@@ -1,0 +1,105 @@
+"""System test: an ad-hoc conference hall.
+
+Attendees with Wi-Fi PDAs share session notes through Lime spaces,
+subscribe to announcement reactions, discover the hall's printer, and
+one attendee sends a late-arriving colleague the slides via a
+store-carry-forward agent when the colleague finally walks in.  No
+infrastructure anywhere — the paper's ad-hoc story end to end.
+"""
+
+import pytest
+
+from repro.apps import DeliveryLog, send_via_agent
+from repro.core import World, mutual_trust, service, standard_host
+from repro.net import PathMobility, Position, WIFI_ADHOC
+from repro.tuplespace import ANY, LimeSpace
+from tests.core.conftest import loss_free, run
+
+
+@pytest.fixture
+def hall():
+    world = loss_free(World(seed=201))
+    # Three attendees seated in the hall, one printer, one late colleague.
+    attendees = [
+        standard_host(world, f"att{i}", Position(10 * i, 0), [WIFI_ADHOC])
+        for i in range(3)
+    ]
+    printer = standard_host(
+        world, "printer", Position(30, 10), [WIFI_ADHOC], fixed=True
+    )
+    late = standard_host(world, "late", Position(5000, 0), [WIFI_ADHOC])
+    everyone = attendees + [printer, late]
+    mutual_trust(*everyone)
+    for host in attendees + [late]:
+        host.add_component(LimeSpace(scan_interval=0.5))
+    printer.component("discovery").advertise(
+        service("printer", "printer", "hall-laser")
+    )
+    # The colleague walks in at t=120.
+    PathMobility(
+        world.env,
+        {"late": late.node},
+        {"late": [(120.0, Position(60, 0))]},
+    )
+    world.run(until=2.0)  # engagement settles
+    return world, attendees, printer, late
+
+
+def test_conference_day(hall):
+    world, attendees, printer, late = hall
+    milestones = {}
+
+    # 1. Attendee 0 announces; the others hear via remote reactions.
+    heard = {"att1": [], "att2": []}
+
+    def subscribe(index):
+        def go():
+            yield from attendees[index].component("lime").react_remote(
+                "att0",
+                ("announce", ANY),
+                lambda item: heard[f"att{index}"].append(item[1]),
+            )
+
+        return go
+
+    run(world, subscribe(1)())
+    run(world, subscribe(2)())
+    attendees[0].component("lime").out(("announce", "keynote moved to 14:00"))
+    world.run(until=world.now + 5.0)
+    milestones["announcements"] = (heard["att1"], heard["att2"])
+
+    # 2. Notes accumulate; attendee 2 gathers them all federated.
+    for index, host in enumerate(attendees):
+        host.component("lime").out(("note", host.id, f"insight-{index}"))
+
+    def gather():
+        notes = yield from attendees[2].component("lime").federated_rd_all(
+            ("note", ANY, ANY)
+        )
+        return sorted(note[2] for note in notes)
+
+    milestones["notes"] = run(world, gather())
+
+    # 3. The hall printer is discoverable without any lookup server.
+    def find_printer():
+        found = yield from attendees[1].component("discovery").find("printer")
+        return [s.name for s in found]
+
+    milestones["printer"] = run(world, find_printer())
+
+    # 4. Slides for the late colleague ride an agent until they arrive.
+    log = DeliveryLog(late)
+    send_via_agent(attendees[0], "late", "slides.pdf", ttl=600.0)
+    world.run(until=400.0)
+    milestones["slides"] = [payload for _v, payload, _t in log.received]
+
+    assert milestones["announcements"] == (
+        ["keynote moved to 14:00"],
+        ["keynote moved to 14:00"],
+    )
+    assert milestones["notes"] == ["insight-0", "insight-1", "insight-2"]
+    assert milestones["printer"] == ["hall-laser"]
+    assert milestones["slides"] == ["slides.pdf"]
+    # Everything happened without a single infrastructure byte.
+    for host in attendees:
+        assert host.node.costs.money == 0.0

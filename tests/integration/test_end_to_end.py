@@ -1,0 +1,156 @@
+"""End-to-end system test: one simulated day on one PDA.
+
+A single simulation in which the same device, moving through town,
+exercises every subsystem: handover between hotspot and GPRS, COD
+(media codecs), LBS discovery + proxy fetch + CS ordering, an SMS
+agent through the message centre, a shopping agent, REV offloading,
+and a live middleware hot swap — with milestones asserted along the
+way.
+"""
+
+import pytest
+
+from repro.apps import (
+    LocationAwareBrowser,
+    MediaPlayer,
+    SmsInbox,
+    build_codec_repository,
+    make_vendor,
+    make_venue,
+    send_sms,
+    shop_with_agent,
+    run_offloaded,
+)
+from repro.core import (
+    Battery,
+    Discovery,
+    HandoverManager,
+    World,
+    component_unit,
+    mutual_trust,
+    standard_host,
+)
+from repro.lmu import Version
+from repro.net import GPRS, LAN, Position, WIFI_ADHOC, WIFI_INFRA
+from tests.core.conftest import loss_free, run
+
+
+class DiscoveryV2(Discovery):
+    version = Version(1, 1, 0)
+
+
+HOME = Position(0, 0)
+TOWN = Position(5000, 0)
+CINEMA = Position(5000, 40)
+
+
+@pytest.fixture
+def city():
+    world = loss_free(World(seed=91))
+    pda = standard_host(
+        world,
+        "pda",
+        HOME,
+        [WIFI_ADHOC, WIFI_INFRA, GPRS],
+        cpu_speed=0.2,
+        quota_bytes=600_000,
+        battery=Battery(),
+    )
+    # Home hotspot: an access point bridging ad-hoc radio to the backbone.
+    home_ap = standard_host(
+        world, "home-ap", Position(10, 0), [WIFI_INFRA, LAN], fixed=True
+    )
+    pda.node.interface("802.11b-infra").attach()  # associate at home
+    media_store = standard_host(
+        world, "media-store", Position(0, 0), [LAN], fixed=True,
+        repository=build_codec_repository(),
+    )
+    cinema = standard_host(
+        world, "cinema", CINEMA, [WIFI_ADHOC, LAN], fixed=True
+    )
+    make_venue(cinema, "odeon", ticket_price=7.0)
+    centre = standard_host(world, "sms-centre", Position(0, 0), [LAN], fixed=True)
+    friend = standard_host(world, "friend", Position(0, 0), [GPRS])
+    shops = []
+    for index in range(3):
+        shop = standard_host(
+            world, f"shop{index}", Position(0, 0), [LAN], fixed=True
+        )
+        make_vendor(shop, {"film-poster": 20.0 - index})
+        shops.append(shop)
+    compute = standard_host(
+        world, "compute", Position(0, 0), [LAN], fixed=True, cpu_speed=4.0
+    )
+    media_store.repository.publish(component_unit(DiscoveryV2, version="1.1.0"))
+    everyone = [pda, home_ap, media_store, cinema, centre, friend, compute] + shops
+    mutual_trust(*everyone)
+    return world, pda, friend, shops
+
+
+def test_a_day_in_the_life(city):
+    world, pda, friend, shops = city
+    HandoverManager(pda, "media-store", interval=1.0)
+    player = MediaPlayer(pda, "media-store")
+    browser = LocationAwareBrowser(pda)
+    inbox_friend = SmsInbox(friend)
+    milestones = {}
+
+    def day():
+        # 07:00 — at home in the hotspot: play a podcast, codec via COD.
+        yield world.env.timeout(2.0)  # handover settles: Wi-Fi, free
+        record = yield from player.play("ogg", "morning-news")
+        milestones["codec"] = record.outcome
+        assert not pda.node.interface("gprs").attached  # free path used
+
+        # 08:00 — walk to town: hotspot lost, GPRS takes over.
+        pda.node.move_to(TOWN)
+        yield world.env.timeout(5.0)
+        milestones["handover"] = pda.node.interface("gprs").attached
+
+        # 09:00 — text a friend through the message centre (friend's
+        # phone is off; the agent parks at the centre).
+        send_sms(pda, "sms-centre", "friend", "movie tonight?", retry=2.0)
+        yield world.env.timeout(10.0)
+        friend.node.interface("gprs").attach()
+        yield world.env.timeout(20.0)
+        milestones["sms"] = list(inbox_friend.texts())
+
+        # 10:00 — buy a poster via a shopping agent over GPRS.
+        final = yield from shop_with_agent(
+            pda, "film-poster", [shop.id for shop in shops]
+        )
+        milestones["shopping"] = final["best"]
+
+        # 11:00 — offload a heavy computation to the compute server.
+        report = yield from run_offloaded(pda, "compute", 20_000_000)
+        milestones["offload"] = report.elapsed_s
+
+        # 12:00 — middleware self-update while running.
+        update = yield from pda.component("update").hot_swap(
+            "discovery", "media-store", "component:discovery"
+        )
+        milestones["update"] = (update.downtime_s, update.requests_lost)
+
+        # 19:00 — arrive at the cinema; its UI appears transparently.
+        pda.node.move_to(Position(CINEMA.x - 20, CINEMA.y))
+        yield world.env.timeout(5.0)
+        fresh = yield from browser.look_around()
+        milestones["venue"] = [e.description.name for e in fresh]
+        receipt = yield from browser.order_tickets("odeon", seats=2)
+        milestones["tickets"] = receipt
+
+    run(world, day())
+
+    assert milestones["codec"] == "miss"  # first play fetched the codec
+    assert milestones["handover"] is True
+    assert milestones["sms"] == ["movie tonight?"]
+    assert milestones["shopping"] == ("shop2", 18.0)
+    assert milestones["offload"] < 20_000_000 / 1e6 / 0.2  # beat local time
+    assert milestones["update"][0] < 0.1
+    assert milestones["venue"] == ["odeon"]
+    assert milestones["tickets"]["total"] == 14.0
+    # The whole day stayed within the device's means.
+    assert pda.battery.fraction > 0.1
+    assert pda.codebase.used_bytes <= 600_000
+    assert pda.node.costs.money > 0  # GPRS segments were metered
+    assert str(pda.component("discovery").version) == "1.1.0"

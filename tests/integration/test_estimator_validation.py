@@ -1,0 +1,144 @@
+"""Validate the paradigm cost estimators against the simulated middleware.
+
+The adaptation engine (and E7) trusts closed-form estimators.  These
+tests run the same task through the *real* simulated middleware under
+each paradigm and check that the estimators get the decisions right:
+ordering of paradigms, crossover neighbourhood, and traffic magnitudes
+within a factor-two band.
+"""
+
+import pytest
+
+from repro.core import (
+    TaskProfile,
+    World,
+    estimate_cod,
+    estimate_cs,
+    estimate_rev,
+    mutual_trust,
+    standard_host,
+)
+from repro.lmu import CodeRepository, code_unit
+from repro.net import GPRS, LAN, Position
+from repro.net.network import _backbone_link
+from tests.core.conftest import loss_free, run
+
+REQUEST_BYTES = 200
+REPLY_BYTES = 2_000
+CODE_BYTES = 40_000
+WORK = 20_000
+LINK = _backbone_link(GPRS, LAN)
+
+
+def build():
+    world = loss_free(World(seed=191))
+    device = standard_host(world, "device", Position(0, 0), [GPRS], cpu_speed=0.2)
+    server = standard_host(
+        world, "server", Position(0, 0), [LAN], fixed=True, cpu_speed=2.0
+    )
+    mutual_trust(device, server)
+    device.node.interface("gprs").attach()
+    server.register_service(
+        "step",
+        lambda args, host: ({"r": args}, REPLY_BYTES),
+        work_units=WORK,
+    )
+    return world, device, server
+
+
+def profile(rounds):
+    return TaskProfile(
+        interactions=rounds,
+        request_bytes=REQUEST_BYTES,
+        reply_bytes=REPLY_BYTES,
+        code_bytes=CODE_BYTES,
+        result_bytes=100,
+        work_units=WORK,
+        local_speed=0.2,
+        remote_speed=2.0,
+    )
+
+
+def simulate_cs(rounds):
+    world, device, server = build()
+
+    def go():
+        for index in range(rounds):
+            yield from device.component("cs").call(
+                "server", "step", index, request_size=REQUEST_BYTES
+            )
+
+    run(world, go())
+    return device.node.costs.wireless_bytes(), world.now
+
+
+def simulate_rev(rounds):
+    world, device, server = build()
+
+    def factory():
+        def body(ctx):
+            for _ in range(rounds):
+                ctx.charge(WORK)
+            return "done"
+
+        return body
+
+    device.codebase.install(code_unit("task", "1.0.0", factory, CODE_BYTES))
+
+    def go():
+        yield from device.component("rev").evaluate("server", ["task"])
+
+    run(world, go())
+    return device.node.costs.wireless_bytes(), world.now
+
+
+class TestEstimatorOrdering:
+    def test_cs_vs_rev_winner_matches_simulation(self):
+        for rounds in (1, 40):
+            cs_sim_bytes, cs_sim_time = simulate_cs(rounds)
+            rev_sim_bytes, rev_sim_time = simulate_rev(rounds)
+            cs_est = estimate_cs(profile(rounds), LINK)
+            rev_est = estimate_rev(profile(rounds), LINK)
+            sim_winner = "cs" if cs_sim_time < rev_sim_time else "rev"
+            est_winner = "cs" if cs_est.time_s < rev_est.time_s else "rev"
+            assert sim_winner == est_winner, f"disagreement at n={rounds}"
+
+    def test_traffic_magnitudes_within_factor_two(self):
+        for rounds in (1, 10, 40):
+            cs_sim_bytes, _time = simulate_cs(rounds)
+            cs_est = estimate_cs(profile(rounds), LINK)
+            assert cs_est.wireless_bytes == pytest.approx(
+                cs_sim_bytes, rel=1.0
+            )
+        rev_sim_bytes, _time = simulate_rev(10)
+        rev_est = estimate_rev(profile(10), LINK)
+        assert rev_est.wireless_bytes == pytest.approx(rev_sim_bytes, rel=1.0)
+
+    def test_cs_time_estimate_tracks_simulation_growth(self):
+        _bytes_small, time_small = simulate_cs(2)
+        _bytes_large, time_large = simulate_cs(20)
+        est_small = estimate_cs(profile(2), LINK).time_s
+        est_large = estimate_cs(profile(20), LINK).time_s
+        sim_growth = time_large / time_small
+        est_growth = est_large / est_small
+        assert est_growth == pytest.approx(sim_growth, rel=0.5)
+
+    def test_cod_amortisation_direction_matches(self):
+        # The estimator says per-use cost falls with reuse; verify the
+        # simulated equivalent: second play of a fetched unit is nearly
+        # free compared to the first.
+        once = estimate_cod(profile(1), LINK)
+        often_profile = TaskProfile(
+            interactions=1,
+            request_bytes=REQUEST_BYTES,
+            reply_bytes=REPLY_BYTES,
+            code_bytes=CODE_BYTES,
+            result_bytes=100,
+            work_units=WORK,
+            local_speed=0.2,
+            remote_speed=2.0,
+            expected_reuses=10,
+        )
+        often = estimate_cod(often_profile, LINK)
+        assert often.money < once.money
+        assert often.wireless_bytes < once.wireless_bytes

@@ -1,0 +1,251 @@
+"""Failure injection across the middleware: crashes, partitions, drained
+batteries, lease expiry.  These are integration tests — each one builds
+a small deployment and breaks it mid-operation."""
+
+import pytest
+
+from repro.core import (
+    Battery,
+    LookupClient,
+    LookupServer,
+    World,
+    mutual_trust,
+    service,
+    standard_host,
+)
+from repro.errors import (
+    RequestTimeout,
+    TransportTimeout,
+    Unreachable,
+)
+from repro.lmu import CodeRepository, code_unit
+from repro.net import GPRS, LAN, Position, WIFI_ADHOC
+from tests.core.conftest import loss_free, run
+
+
+def pair(seed=81):
+    world = loss_free(World(seed=seed))
+    a = standard_host(world, "a", Position(0, 0), [WIFI_ADHOC])
+    b = standard_host(world, "b", Position(20, 0), [WIFI_ADHOC])
+    mutual_trust(a, b)
+    return world, a, b
+
+
+class TestCrashMidOperation:
+    def test_rev_target_crash_before_reply_times_out(self):
+        world, a, b = pair()
+
+        def slow_factory():
+            def body(ctx):
+                ctx.charge(50_000_000)  # long enough to crash mid-run
+                return "done"
+
+            return body
+
+        a.codebase.install(code_unit("slow", "1.0.0", slow_factory, 1000))
+
+        def killer():
+            yield world.env.timeout(1.0)
+            b.node.crash()
+
+        def go():
+            yield from a.component("rev").evaluate("b", ["slow"], timeout=10.0)
+
+        world.env.process(killer())
+        with pytest.raises((RequestTimeout, TransportTimeout)):
+            run(world, go())
+
+    def test_cod_provider_crash_leaves_client_clean(self):
+        world, a, b = pair()
+        b.repository = CodeRepository()
+        b.repository.publish(
+            code_unit("big", "1.0.0", lambda: (lambda ctx: 0), 2_000_000)
+        )
+
+        def killer():
+            yield world.env.timeout(0.5)
+            b.node.crash()
+
+        def go():
+            yield from a.component("cod").fetch("b", ["big"], timeout=10.0)
+
+        world.env.process(killer())
+        with pytest.raises((RequestTimeout, TransportTimeout)):
+            run(world, go())
+        assert "big" not in a.codebase  # nothing half-installed
+
+    def test_cs_call_to_crashed_server_unreachable(self):
+        world, a, b = pair()
+        b.register_service("s", lambda args, host: (1, 8))
+        b.node.crash()
+
+        def go():
+            yield from a.component("cs").call("b", "s", timeout=5.0)
+
+        with pytest.raises((Unreachable, TransportTimeout)):
+            run(world, go())
+
+    def test_server_restart_recovers_service(self):
+        world, a, b = pair()
+        b.register_service("s", lambda args, host: ("pong", 8))
+        b.node.crash()
+
+        def go():
+            try:
+                yield from a.component("cs").call("b", "s", timeout=5.0)
+            except (Unreachable, TransportTimeout):
+                pass
+            b.node.restart()
+            value = yield from a.component("cs").call("b", "s")
+            return value
+
+        assert run(world, go()) == "pong"
+
+
+class TestAgentFailures:
+    def test_migration_target_crashes_before_transfer(self):
+        from repro.core import Agent
+
+        world, a, b = pair()
+
+        class Hopper(Agent):
+            def on_arrival(self, context):
+                yield from context.migrate("b")
+
+        b.node.crash()
+        runtime = a.component("agents")
+        agent_id = runtime.launch(Hopper())
+        world.run(until=120.0)
+        final = runtime.completed[agent_id]
+        assert final["outcome"] == "stranded"
+
+    def test_operations_from_crashed_host_fail_contained(self):
+        from repro.core import Agent
+
+        world, a, b = pair()
+
+        class Sleeper(Agent):
+            def on_arrival(self, context):
+                yield from context.sleep(5.0)
+                yield from context.migrate("b")
+
+        runtime = a.component("agents")
+        agent_id = runtime.launch(Sleeper())
+        world.run(until=1.0)
+        a.node.crash()
+        world.run(until=120.0)
+        final = runtime.completed.get(agent_id)
+        # The agent's migration from a dead host fails and is contained
+        # (never crashes the simulation).
+        assert final is not None
+        assert final["outcome"] in ("crashed", "stranded")
+
+    def test_agent_survives_transient_loss(self):
+        from repro.core import Agent
+
+        world, a, b = pair()
+        # Heavy loss: 50% of transfers drop; reliable transport retries.
+        draws = iter([0.0, 0.0, 0.9, 0.9, 0.9, 0.9] * 50)
+        world.transport._rng.random = lambda: next(draws)
+
+        class Hopper(Agent):
+            def on_arrival(self, context):
+                if context.host_id != "b":
+                    yield from context.migrate("b")
+                self.state["done"] = True
+                yield from context.sleep(0)
+
+        runtime_b = b.component("agents")
+        agent_id = a.component("agents").launch(Hopper())
+        world.run(until=60.0)
+        final = runtime_b.completed.get(agent_id)
+        assert final is not None and final["done"] is True
+
+
+class TestLeaseExpiryUnderPartition:
+    def test_provider_reregisters_after_partition(self):
+        world = loss_free(World(seed=82))
+        lus = standard_host(world, "lus", Position(0, 0), [LAN], fixed=True)
+        lus.add_component(LookupServer(lease_duration=10.0, sweep_interval=1.0))
+        provider = standard_host(world, "prov", Position(0, 0), [GPRS])
+        provider.add_component(LookupClient("lus", request_timeout=3.0))
+        client = standard_host(world, "cli", Position(0, 0), [GPRS])
+        client.add_component(LookupClient("lus"))
+        mutual_trust(lus, provider, client)
+        provider.node.interface("gprs").attach()
+        client.node.interface("gprs").attach()
+
+        def go():
+            yield from provider.component("lookup-client").register(
+                service("printer", "prov", "p1")
+            )
+            # Partition the provider long enough for the lease to expire.
+            provider.node.interface("gprs").detach()
+            yield world.env.timeout(30.0)
+            assert not lus.component("lookup-server").registrations
+            provider.node.interface("gprs").attach()
+            yield world.env.timeout(30.0)
+            found = yield from client.component("lookup-client").find("printer")
+            return found
+
+        found = run(world, go())
+        assert [s.provider for s in found] == ["prov"]
+        assert world.metrics.counter("lookup.reregistrations").value >= 1
+
+
+class TestBatteryDrain:
+    def test_compute_and_radio_drain_battery(self):
+        world = loss_free(World(seed=83))
+        battery = Battery(capacity_joules=100.0, cpu_watts=2.0)
+        device = standard_host(
+            world, "device", Position(0, 0), [WIFI_ADHOC], battery=battery
+        )
+        peer = standard_host(world, "peer", Position(10, 0), [WIFI_ADHOC])
+        mutual_trust(device, peer)
+        peer.register_service("sink", lambda args, host: (None, 8))
+
+        def go():
+            yield from device.execute(10_000_000)  # 10 s of CPU at 1.0x
+            yield from device.component("cs").call(
+                "peer", "sink", "x" * 10_000
+            )
+
+        run(world, go())
+        assert battery.fraction < 1.0
+        assert battery.level_joules < 100.0 - 2.0 * 9.9  # CPU drain happened
+
+    def test_empty_battery_is_observable(self):
+        battery = Battery(capacity_joules=1.0, cpu_watts=1.0)
+        battery.consume_cpu(2.0)
+        assert battery.empty
+
+
+class TestPartitionMidStream:
+    def test_reliable_send_gives_up_when_peer_walks_away(self):
+        world, a, b = pair()
+        from repro.net import Message
+
+        def walker():
+            yield world.env.timeout(0.2)
+            b.node.move_to(Position(5000, 0))
+
+        def go():
+            yield world.transport.send_reliable(
+                Message("a", "b", "bulk", size_bytes=2_000_000),
+                max_attempts=3,
+            )
+
+        world.env.process(walker())
+        with pytest.raises(TransportTimeout):
+            run(world, go())
+
+    def test_discovery_empty_after_partition(self):
+        world, a, b = pair()
+        b.component("discovery").advertise(service("printer", "b", "p"))
+        b.node.move_to(Position(5000, 0))
+
+        def go():
+            found = yield from a.component("discovery").find("printer")
+            return found
+
+        assert run(world, go()) == []

@@ -1,0 +1,118 @@
+"""The docs/TUTORIAL.md field-survey walkthrough, as an executable test.
+
+If this test breaks, the tutorial is lying to users.
+"""
+
+import pytest
+
+from repro import World, mutual_trust
+from repro.apps import DeliveryLog, send_via_agent
+from repro.core import (
+    HandoverManager,
+    Outbox,
+    PrefetchItem,
+    Prefetcher,
+    TaskProfile,
+    assess,
+    pda_host,
+    server_host,
+)
+from repro.lmu import CodeRepository, code_unit
+from repro.net import Area, Position, WIFI_INFRA
+from repro.tuplespace import ANY, LimeSpace
+from tests.core.conftest import loss_free, run
+
+
+@pytest.fixture
+def site():
+    world = loss_free(World(seed=221))
+    surveyors = [
+        pda_host(world, f"surveyor{i}", Position(30.0 * i, 50.0))
+        for i in range(4)
+    ]
+    hq = server_host(world, "hq", Position(0.0, 0.0))
+    gate = server_host(
+        world, "gate", Position(10.0, 10.0), technologies=[WIFI_INFRA]
+    )
+    mutual_trust(hq, gate, *surveyors)
+    for surveyor in surveyors:
+        surveyor.add_component(LimeSpace(scan_interval=0.5))
+        surveyor.add_component(Outbox(flush_interval=1.0))
+        HandoverManager(surveyor, "hq", interval=1.0)
+    hq.register_service("upload", lambda args, host: ("ack", 16))
+    world.run(until=2.0)
+    return world, surveyors, hq, gate
+
+
+def test_field_survey_walkthrough(site):
+    world, surveyors, hq, gate = site
+    alice = surveyors[0]
+
+    # §2/3 — take readings, share them through the transient tuple space.
+    def collect():
+        for surveyor, value in zip(surveyors, (21.5, 22.0, 20.8, 21.1)):
+            surveyor.component("lime").out(("reading", surveyor.id, value))
+            yield from surveyor.execute(5_000)
+
+    run(world, collect())
+
+    def gather():
+        readings = yield from alice.component("lime").federated_rd_all(
+            ("reading", ANY, ANY)
+        )
+        return readings
+
+    readings = run(world, gather())
+    # Alice sees her own reading plus every surveyor currently in range.
+    assert len(readings) >= 2
+
+    # §4 — queue the upload; it flushes once the hotspot is reachable.
+    # Surveyors start near the gate, so wifi-infra coverage exists; the
+    # PDA must first associate.
+    alice.node.interface("802.11b-infra").attach()
+    completion = alice.component("outbox").call_eventually(
+        "hq", "upload", [tuple(reading) for reading in readings]
+    )
+
+    def await_upload():
+        result = yield completion
+        return result
+
+    assert run(world, await_upload()) == "ack"
+
+    # §4b — peer messaging across the field rides an agent.
+    log = DeliveryLog(surveyors[3])
+    send_via_agent(alice, "surveyor3", "meet at the gate", ttl=300.0)
+    world.run(until=world.now + 120.0)
+    assert "meet at the gate" in [p for _v, p, _t in log.received]
+
+    # §5 — a new decoder appears at HQ; prefetch it over the free link.
+    hq.repository = CodeRepository()
+    hq.repository.publish(
+        code_unit("decoder-x2", "1.0.0", lambda: (lambda ctx: "x2"), 60_000)
+    )
+    Prefetcher(
+        alice, "hq", [PrefetchItem("decoder-x2", 1.0)], check_interval=1.0
+    )
+    world.run(until=world.now + 15.0)
+    assert "decoder-x2" in alice.codebase
+    assert alice.node.costs.money == 0.0  # all of it rode free links
+
+    # §6 — the design-time assessment renders and picks a winner.
+    report = assess(
+        TaskProfile(
+            interactions=30,
+            request_bytes=128,
+            reply_bytes=4_096,
+            code_bytes=20_000,
+            result_bytes=256,
+            work_units=30_000,
+            expected_reuses=10,
+        )
+    )
+    assert "winner" in report.render()
+
+    # §7 — observability.
+    summary = world.summary()
+    assert summary["fleet.bytes_sent"] > 0
+    assert summary["world.nodes"] == 6.0

@@ -1,0 +1,84 @@
+"""Unit tests for geometry and link technology profiles."""
+
+import random
+
+import pytest
+
+from repro.net import (
+    Area,
+    BLUETOOTH,
+    DIALUP,
+    GPRS,
+    LAN,
+    Position,
+    TECHNOLOGIES,
+    WIFI_ADHOC,
+    technology,
+)
+
+
+class TestPosition:
+    def test_distance(self):
+        assert Position(0, 0).distance_to(Position(3, 4)) == 5.0
+
+    def test_towards_moves_step(self):
+        moved = Position(0, 0).towards(Position(10, 0), 4.0)
+        assert moved == Position(4.0, 0.0)
+
+    def test_towards_does_not_overshoot(self):
+        target = Position(1, 0)
+        assert Position(0, 0).towards(target, 100.0) == target
+
+    def test_towards_zero_distance(self):
+        here = Position(5, 5)
+        assert here.towards(here, 1.0) == here
+
+
+class TestArea:
+    def test_contains(self):
+        area = Area(100, 50)
+        assert area.contains(Position(50, 25))
+        assert not area.contains(Position(101, 25))
+        assert not area.contains(Position(50, -1))
+
+    def test_random_position_inside(self):
+        area = Area(30, 40)
+        rng = random.Random(1)
+        for _ in range(100):
+            assert area.contains(area.random_position(rng))
+
+    def test_clamp(self):
+        area = Area(10, 10)
+        assert area.clamp(Position(-5, 20)) == Position(0, 10)
+
+
+class TestTechnologies:
+    def test_transfer_time(self):
+        # 9600 bps -> 1200 bytes/s
+        assert DIALUP.transfer_time(1200) == pytest.approx(1.0)
+
+    def test_transfer_cost_gprs(self):
+        assert GPRS.transfer_cost(1_000_000) == pytest.approx(6.0)
+
+    def test_free_technologies_cost_nothing(self):
+        for tech in (WIFI_ADHOC, BLUETOOTH, LAN):
+            assert tech.transfer_cost(10_000_000) == 0.0
+
+    def test_adhoc_flag(self):
+        assert WIFI_ADHOC.is_adhoc
+        assert BLUETOOTH.is_adhoc
+        assert not GPRS.is_adhoc
+        assert not LAN.is_adhoc
+
+    def test_lookup_by_name(self):
+        assert technology("gprs") is GPRS
+        with pytest.raises(KeyError):
+            technology("carrier-pigeon")
+
+    def test_registry_complete(self):
+        assert {"802.11b-adhoc", "bluetooth", "gprs", "gsm-dialup", "lan"} <= set(
+            TECHNOLOGIES
+        )
+
+    def test_dialup_has_slow_setup(self):
+        assert DIALUP.setup_s >= 10.0

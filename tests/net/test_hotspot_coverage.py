@@ -1,0 +1,93 @@
+"""Unit tests for radio-infrastructure (hotspot) coverage."""
+
+import pytest
+
+from repro.net import (
+    LAN,
+    Network,
+    NetworkNode,
+    Position,
+    WIFI_INFRA,
+)
+from repro.sim import Environment
+
+
+def build():
+    env = Environment()
+    network = Network(env)
+    laptop = network.add_node(
+        NetworkNode(env, "laptop", Position(0, 0), technologies=[WIFI_INFRA])
+    )
+    access_point = network.add_node(
+        NetworkNode(
+            env, "ap", Position(50, 0), technologies=[WIFI_INFRA, LAN],
+            fixed=True,
+        )
+    )
+    server = network.add_node(
+        NetworkNode(env, "server", Position(0, 0), technologies=[LAN], fixed=True)
+    )
+    laptop.interface("802.11b-infra").attach()
+    return env, network, laptop, access_point, server
+
+
+class TestHotspotCoverage:
+    def test_in_range_of_ap_reaches_backbone(self):
+        env, network, laptop, ap, server = build()
+        link = network.best_link(laptop, server)
+        assert link is not None
+        assert link.via_backbone
+        assert link.sender_technology is WIFI_INFRA
+
+    def test_out_of_ap_range_loses_backbone(self):
+        env, network, laptop, ap, server = build()
+        laptop.move_to(Position(500, 0))
+        assert network.best_link(laptop, server) is None
+
+    def test_ap_crash_loses_coverage(self):
+        env, network, laptop, ap, server = build()
+        ap.crash()
+        assert network.best_link(laptop, server) is None
+        ap.restart()
+        assert network.best_link(laptop, server) is not None
+
+    def test_ap_disabled_radio_loses_coverage(self):
+        env, network, laptop, ap, server = build()
+        ap.interface("802.11b-infra").disable()
+        assert network.best_link(laptop, server) is None
+
+    def test_mobile_peer_is_not_a_base_station(self):
+        env, network, laptop, ap, server = build()
+        other = network.add_node(
+            NetworkNode(
+                env, "other", Position(0, 1), technologies=[WIFI_INFRA]
+            )
+        )
+        other.interface("802.11b-infra").attach()
+        laptop.move_to(Position(500, 0))
+        other.move_to(Position(500, 1))
+        # Two mobile hotspot clients next to each other, far from the AP:
+        # neither has coverage.
+        assert network.best_link(laptop, other) is None
+
+    def test_wired_and_cellular_unaffected_by_position(self):
+        env, network, laptop, ap, server = build()
+        far_server = network.add_node(
+            NetworkNode(
+                env, "far", Position(99999, 0), technologies=[LAN], fixed=True
+            )
+        )
+        assert network.best_link(server, far_server) is not None
+
+    def test_fixed_node_is_its_own_base_station(self):
+        env, network, laptop, ap, server = build()
+        kiosk = network.add_node(
+            NetworkNode(
+                env,
+                "kiosk",
+                Position(9000, 0),
+                technologies=[WIFI_INFRA],
+                fixed=True,
+            )
+        )
+        assert network.best_link(kiosk, server) is not None

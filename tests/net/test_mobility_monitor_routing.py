@@ -1,0 +1,209 @@
+"""Unit tests for mobility models, connectivity monitoring, and routing."""
+
+import pytest
+
+from repro.errors import Unreachable
+from repro.net import (
+    Area,
+    ConnectivityMonitor,
+    Message,
+    Network,
+    NetworkNode,
+    PathMobility,
+    Position,
+    RandomWaypoint,
+    Router,
+    Transport,
+    WIFI_ADHOC,
+    grid_positions,
+)
+from repro.sim import Environment, RandomStreams
+
+
+def adhoc_node(env, node_id, x=0.0, y=0.0):
+    return NetworkNode(env, node_id, Position(x, y), technologies=[WIFI_ADHOC])
+
+
+class TestRandomWaypoint:
+    def test_nodes_stay_in_area(self):
+        env = Environment()
+        area = Area(100, 100)
+        streams = RandomStreams(3)
+        nodes = [adhoc_node(env, f"n{i}", 50, 50) for i in range(5)]
+        RandomWaypoint(env, nodes, area, streams, speed_range=(1.0, 5.0))
+        env.run(until=200.0)
+        for node in nodes:
+            assert area.contains(node.position)
+
+    def test_nodes_actually_move(self):
+        env = Environment()
+        area = Area(100, 100)
+        nodes = [adhoc_node(env, "n0", 50, 50)]
+        RandomWaypoint(env, nodes, area, RandomStreams(3), pause_range=(0, 0))
+        env.run(until=30.0)
+        assert nodes[0].position != Position(50, 50)
+
+    def test_same_seed_same_trajectory(self):
+        def trajectory(seed):
+            env = Environment()
+            node = adhoc_node(env, "n0", 50, 50)
+            RandomWaypoint(
+                env, [node], Area(100, 100), RandomStreams(seed), pause_range=(0, 0)
+            )
+            env.run(until=50.0)
+            return node.position
+
+        assert trajectory(9) == trajectory(9)
+        assert trajectory(9) != trajectory(10)
+
+    def test_invalid_parameters(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            RandomWaypoint(
+                env, [], Area(10, 10), RandomStreams(0), speed_range=(0.0, 1.0)
+            )
+        with pytest.raises(ValueError):
+            RandomWaypoint(env, [], Area(10, 10), RandomStreams(0), tick=0.0)
+
+
+class TestPathMobility:
+    def test_reaches_waypoints_on_time(self):
+        env = Environment()
+        node = adhoc_node(env, "walker", 0, 0)
+        PathMobility(
+            env,
+            {"walker": node},
+            {"walker": [(10.0, Position(100, 0)), (20.0, Position(100, 100))]},
+        )
+        env.run(until=10.5)
+        assert node.position.distance_to(Position(100, 0)) < 1e-6
+        env.run(until=20.5)
+        assert node.position.distance_to(Position(100, 100)) < 1e-6
+
+
+class TestGridPositions:
+    def test_count_and_containment(self):
+        area = Area(100, 100)
+        positions = grid_positions(10, area)
+        assert len(positions) == 10
+        assert all(area.contains(p) for p in positions)
+
+    def test_zero_count(self):
+        assert grid_positions(0, Area(10, 10)) == []
+
+    def test_positions_distinct(self):
+        positions = grid_positions(9, Area(90, 90))
+        assert len(set(positions)) == 9
+
+
+class TestConnectivityMonitor:
+    def test_detects_appearance_and_disappearance(self):
+        env = Environment()
+        network = Network(env)
+        a = network.add_node(adhoc_node(env, "a", 0, 0))
+        b = network.add_node(adhoc_node(env, "b", 500, 0))
+        monitor = ConnectivityMonitor(env, network, a, interval=1.0)
+        events = []
+        monitor.subscribe(lambda peer, up: events.append((peer, up)))
+
+        def mover(env):
+            yield env.timeout(5.0)
+            b.move_to(Position(50, 0))
+            yield env.timeout(5.0)
+            b.move_to(Position(500, 0))
+
+        env.process(mover(env))
+        env.run(until=15.0)
+        assert ("b", True) in events
+        assert ("b", False) in events
+
+    def test_scan_now_returns_current_set(self):
+        env = Environment()
+        network = Network(env)
+        a = network.add_node(adhoc_node(env, "a", 0, 0))
+        network.add_node(adhoc_node(env, "b", 10, 0))
+        monitor = ConnectivityMonitor(env, network, a)
+        assert monitor.scan_now() == {"b"}
+
+    def test_unsubscribe_stops_callbacks(self):
+        env = Environment()
+        network = Network(env)
+        a = network.add_node(adhoc_node(env, "a", 0, 0))
+        network.add_node(adhoc_node(env, "b", 10, 0))
+        monitor = ConnectivityMonitor(env, network, a)
+        events = []
+        listener = lambda peer, up: events.append(peer)
+        monitor.subscribe(listener)
+        monitor.unsubscribe(listener)
+        monitor.scan_now()
+        assert events == []
+
+    def test_invalid_interval(self):
+        env = Environment()
+        network = Network(env)
+        a = network.add_node(adhoc_node(env, "a"))
+        with pytest.raises(ValueError):
+            ConnectivityMonitor(env, network, a, interval=0.0)
+
+
+class TestRouter:
+    def build_chain(self, spacing=90.0, count=4):
+        env = Environment()
+        network = Network(env)
+        streams = RandomStreams(5)
+        transport = Transport(env, network, streams)
+        transport._rng.random = lambda: 0.99  # deterministic: no loss
+        nodes = [
+            network.add_node(adhoc_node(env, f"n{i}", spacing * i, 0))
+            for i in range(count)
+        ]
+        router = Router(env, network, transport)
+        return env, network, router, nodes
+
+    def test_multihop_delivery(self):
+        env, network, router, nodes = self.build_chain()
+        message = Message("n0", "n3", "hello", size_bytes=200)
+
+        def run(env):
+            hops = yield router.send_multihop(message)
+            received = yield nodes[3].inbox.get()
+            return hops, received
+
+        process = env.process(run(env))
+        hops, received = env.run(until=process)
+        assert hops == 3
+        assert received.kind == "hello"
+        assert received.source == "n0"
+        assert received.via == "multihop"
+
+    def test_intermediate_inboxes_left_clean(self):
+        env, network, router, nodes = self.build_chain()
+        message = Message("n0", "n3", "hello")
+
+        def run(env):
+            yield router.send_multihop(message)
+
+        env.process(run(env))
+        env.run()
+        for node in nodes[1:3]:
+            assert node.inbox.try_get() is None
+
+    def test_partition_raises_unreachable(self):
+        env, network, router, nodes = self.build_chain(spacing=300.0)
+
+        def run(env):
+            yield router.send_multihop(Message("n0", "n3", "hello"))
+
+        env.process(run(env))
+        with pytest.raises(Unreachable):
+            env.run()
+
+    def test_single_hop_to_neighbor(self):
+        env, network, router, nodes = self.build_chain(count=2)
+
+        def run(env):
+            hops = yield router.send_multihop(Message("n0", "n1", "hi"))
+            return hops
+
+        process = env.process(run(env))
+        assert env.run(until=process) == 1

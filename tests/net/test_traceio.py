@@ -1,0 +1,126 @@
+"""Unit tests for mobility-trace and connectivity-timeline I/O."""
+
+import io
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net import (
+    ConnectivityRecorder,
+    Network,
+    NetworkNode,
+    Position,
+    WIFI_ADHOC,
+    dump_mobility,
+    load_mobility,
+    replay_mobility,
+)
+from repro.sim import Environment
+
+
+SAMPLE = """\
+# node time x y
+walker 0.0 0.0 0.0
+walker 10.0 100.0 0.0
+sitter 0.0 5.0 5.0
+"""
+
+
+class TestMobilityIO:
+    def test_roundtrip(self):
+        waypoints = load_mobility(io.StringIO(SAMPLE))
+        out = io.StringIO()
+        dump_mobility(waypoints, out)
+        again = load_mobility(io.StringIO(out.getvalue()))
+        assert again == waypoints
+
+    def test_load_sorts_by_time(self):
+        scrambled = "a 10.0 1 1\na 0.0 0 0\n"
+        waypoints = load_mobility(io.StringIO(scrambled))
+        times = [time for time, _pos in waypoints["a"]]
+        assert times == [0.0, 10.0]
+
+    def test_comments_and_blanks_ignored(self):
+        text = "\n# comment\n\na 0 1 2\n"
+        waypoints = load_mobility(io.StringIO(text))
+        assert waypoints["a"] == [(0.0, Position(1.0, 2.0))]
+
+    def test_malformed_arity_rejected_with_line_number(self):
+        with pytest.raises(NetworkError, match="line 2"):
+            load_mobility(io.StringIO("a 0 1 2\na 1 2\n"))
+
+    def test_malformed_number_rejected(self):
+        with pytest.raises(NetworkError):
+            load_mobility(io.StringIO("a zero 1 2\n"))
+
+    def test_replay_drives_node(self):
+        env = Environment()
+        node = NetworkNode(env, "walker", Position(50, 50), [WIFI_ADHOC])
+        replay_mobility(env, {"walker": node, "sitter": NetworkNode(env, "sitter", Position(0, 0))}, io.StringIO(SAMPLE))
+        assert node.position == Position(0.0, 0.0)  # snapped to first point
+        env.run(until=10.5)
+        assert node.position.distance_to(Position(100.0, 0.0)) < 1e-6
+
+    def test_replay_unknown_node_rejected(self):
+        env = Environment()
+        with pytest.raises(NetworkError, match="unknown nodes"):
+            replay_mobility(env, {}, io.StringIO(SAMPLE))
+
+
+class TestConnectivityRecorder:
+    def build(self):
+        env = Environment()
+        network = Network(env)
+        a = network.add_node(
+            NetworkNode(env, "a", Position(0, 0), [WIFI_ADHOC])
+        )
+        b = network.add_node(
+            NetworkNode(env, "b", Position(500, 0), [WIFI_ADHOC])
+        )
+        recorder = ConnectivityRecorder(env, network, a, interval=1.0)
+        return env, a, b, recorder
+
+    def test_records_up_and_down(self):
+        env, a, b, recorder = self.build()
+
+        def mover(env):
+            yield env.timeout(5.0)
+            b.move_to(Position(50, 0))
+            yield env.timeout(5.0)
+            b.move_to(Position(500, 0))
+
+        env.process(mover(env))
+        env.run(until=15.0)
+        states = [state for _t, _a, _b, state in recorder.events]
+        assert states == ["up", "down"]
+        assert recorder.contact_count("b") == 1
+
+    def test_total_contact_time(self):
+        env, a, b, recorder = self.build()
+
+        def mover(env):
+            yield env.timeout(5.0)
+            b.move_to(Position(50, 0))
+            yield env.timeout(10.0)
+            b.move_to(Position(500, 0))
+
+        env.process(mover(env))
+        env.run(until=30.0)
+        contact = recorder.total_contact_time("b", until=30.0)
+        assert contact == pytest.approx(10.0, abs=2.1)
+
+    def test_open_contact_counts_to_until(self):
+        env, a, b, recorder = self.build()
+        b.move_to(Position(50, 0))
+        env.run(until=10.0)
+        assert recorder.total_contact_time("b", until=10.0) >= 9.0
+
+    def test_dump_format(self):
+        env, a, b, recorder = self.build()
+        b.move_to(Position(50, 0))
+        env.run(until=3.0)
+        out = io.StringIO()
+        lines = recorder.dump(out)
+        text = out.getvalue()
+        assert lines >= 2
+        assert "a b up" in text

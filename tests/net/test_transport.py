@@ -1,0 +1,267 @@
+"""Unit tests for the transport: timing, loss, cost, reliability, broadcast."""
+
+import pytest
+
+from repro.errors import MessageTooLarge, TransportTimeout, Unreachable
+from repro.net import (
+    GPRS,
+    HEADER_BYTES,
+    LAN,
+    Message,
+    Network,
+    NetworkNode,
+    Position,
+    Transport,
+    WIFI_ADHOC,
+)
+from repro.sim import Environment, RandomStreams
+
+
+def build(loss_free=True):
+    env = Environment()
+    network = Network(env)
+    streams = RandomStreams(7)
+    transport = Transport(env, network, streams)
+    return env, network, transport
+
+
+def add_pair(env, network, distance=10.0):
+    a = network.add_node(
+        NetworkNode(env, "a", Position(0, 0), technologies=[WIFI_ADHOC])
+    )
+    b = network.add_node(
+        NetworkNode(env, "b", Position(distance, 0), technologies=[WIFI_ADHOC])
+    )
+    return a, b
+
+
+class TestSend:
+    def test_delivery_time_matches_model(self):
+        env, network, transport = build()
+        a, b = add_pair(env, network)
+        message = Message("a", "b", "test", payload="hi", size_bytes=10_000)
+
+        def run(env):
+            delivered = yield transport.send(message)
+            return delivered, env.now
+
+        process = env.process(run(env))
+        delivered, finished = env.run(until=process)
+        assert delivered is True
+        wire = 10_000 + HEADER_BYTES
+        expected = wire * 8 / WIFI_ADHOC.bandwidth_bps + WIFI_ADHOC.latency_s
+        assert finished == pytest.approx(expected)
+
+    def test_message_lands_in_inbox(self):
+        env, network, transport = build()
+        a, b = add_pair(env, network)
+        message = Message("a", "b", "ping")
+
+        def run(env):
+            yield transport.send(message)
+            received = yield b.inbox.get()
+            return received
+
+        process = env.process(run(env))
+        received = env.run(until=process)
+        assert received.kind == "ping"
+        assert received.via == "802.11b-adhoc"
+
+    def test_unreachable_raises(self):
+        env, network, transport = build()
+        add_pair(env, network, distance=500.0)
+        message = Message("a", "b", "ping")
+
+        def run(env):
+            yield transport.send(message)
+
+        env.process(run(env))
+        with pytest.raises(Unreachable):
+            env.run()
+
+    def test_costs_accounted_both_ends(self):
+        env, network, transport = build()
+        phone = network.add_node(
+            NetworkNode(env, "a", Position(0, 0), technologies=[GPRS])
+        )
+        srv = network.add_node(
+            NetworkNode(env, "b", Position(0, 0), technologies=[LAN], fixed=True)
+        )
+        phone.interface("gprs").attach()
+        message = Message("a", "b", "upload", size_bytes=1_000_000 - HEADER_BYTES)
+
+        def run(env):
+            yield transport.send(message)
+
+        env.process(run(env))
+        env.run()
+        assert phone.costs.bytes_sent["gprs"] == 1_000_000
+        assert srv.costs.bytes_received["lan"] == 1_000_000
+        assert phone.costs.money == pytest.approx(GPRS.cost_per_mb)
+        assert srv.costs.money == 0.0
+
+    def test_oversized_message_rejected(self):
+        env, network, transport = build()
+        add_pair(env, network)
+        huge = Message("a", "b", "blob", size_bytes=WIFI_ADHOC.max_payload + 1)
+
+        def run(env):
+            yield transport.send(huge)
+
+        env.process(run(env))
+        with pytest.raises(MessageTooLarge):
+            env.run()
+
+    def test_crash_mid_transfer_drops(self):
+        env, network, transport = build()
+        a, b = add_pair(env, network)
+        message = Message("a", "b", "big", size_bytes=1_000_000)
+
+        def run(env):
+            delivered = yield transport.send(message)
+            return delivered
+
+        def killer(env):
+            yield env.timeout(0.5)
+            b.crash()
+
+        process = env.process(run(env))
+        env.process(killer(env))
+        assert env.run(until=process) is False
+
+    def test_move_out_of_range_mid_transfer_drops(self):
+        env, network, transport = build()
+        a, b = add_pair(env, network)
+        message = Message("a", "b", "big", size_bytes=1_000_000)
+
+        def run(env):
+            delivered = yield transport.send(message)
+            return delivered
+
+        def mover(env):
+            yield env.timeout(0.5)
+            b.move_to(Position(1000, 0))
+
+        process = env.process(run(env))
+        env.process(mover(env))
+        assert env.run(until=process) is False
+
+    def test_radio_serialises_concurrent_sends(self):
+        env, network, transport = build()
+        a, b = add_pair(env, network)
+        # two 5e5-byte messages at 5 Mbps = 0.8s each transmission
+        times = []
+
+        def run(env, message):
+            yield transport.send(message)
+            times.append(env.now)
+
+        env.process(run(env, Message("a", "b", "m1", size_bytes=500_000)))
+        env.process(run(env, Message("a", "b", "m2", size_bytes=500_000)))
+        env.run()
+        assert len(times) == 2
+        # Second message cannot finish at the same instant: channel was held.
+        assert times[1] > times[0]
+        assert times[1] - times[0] == pytest.approx(
+            (500_000 + HEADER_BYTES) * 8 / WIFI_ADHOC.bandwidth_bps, rel=0.01
+        )
+
+
+class TestReliableSend:
+    def test_succeeds_first_attempt_on_clean_link(self):
+        env, network, transport = build()
+        transport._rng.random = lambda: 0.99  # never lose
+        add_pair(env, network)
+        message = Message("a", "b", "data", size_bytes=100)
+
+        def run(env):
+            attempts = yield transport.send_reliable(message)
+            return attempts
+
+        process = env.process(run(env))
+        assert env.run(until=process) == 1
+
+    def test_retries_on_loss_then_succeeds(self):
+        env, network, transport = build()
+        draws = iter([0.0, 0.0, 0.99])  # lose, lose, deliver
+        transport._rng.random = lambda: next(draws)
+        a, b = add_pair(env, network)
+        message = Message("a", "b", "data", size_bytes=100)
+
+        def run(env):
+            attempts = yield transport.send_reliable(message)
+            return attempts
+
+        process = env.process(run(env))
+        assert env.run(until=process) == 3
+        assert transport.metrics.counter("net.retransmissions").value == 2
+
+    def test_exhausted_attempts_raise_timeout(self):
+        env, network, transport = build()
+        transport._rng.random = lambda: 0.0  # always lose
+        add_pair(env, network)
+        message = Message("a", "b", "data", size_bytes=100)
+
+        def run(env):
+            yield transport.send_reliable(message, max_attempts=2)
+
+        env.process(run(env))
+        with pytest.raises(TransportTimeout):
+            env.run()
+
+    def test_unreachable_from_start(self):
+        env, network, transport = build()
+        add_pair(env, network, distance=1000.0)
+
+        def run(env):
+            yield transport.send_reliable(Message("a", "b", "x"))
+
+        env.process(run(env))
+        with pytest.raises(Unreachable):
+            env.run()
+
+    def test_invalid_attempts(self):
+        env, network, transport = build()
+        add_pair(env, network)
+        with pytest.raises(ValueError):
+            transport.send_reliable(Message("a", "b", "x"), max_attempts=0)
+
+
+class TestBroadcast:
+    def test_all_in_range_neighbors_hear(self):
+        env, network, transport = build()
+        transport._rng.random = lambda: 0.99  # no loss
+        a = network.add_node(
+            NetworkNode(env, "a", Position(0, 0), technologies=[WIFI_ADHOC])
+        )
+        network.add_node(
+            NetworkNode(env, "b", Position(50, 0), technologies=[WIFI_ADHOC])
+        )
+        network.add_node(
+            NetworkNode(env, "c", Position(0, 50), technologies=[WIFI_ADHOC])
+        )
+        network.add_node(
+            NetworkNode(env, "far", Position(500, 0), technologies=[WIFI_ADHOC])
+        )
+
+        def run(env):
+            heard = yield transport.broadcast(a, "hello", size_bytes=100)
+            return sorted(heard)
+
+        process = env.process(run(env))
+        assert env.run(until=process) == ["b", "c"]
+
+    def test_broadcast_with_no_neighbors(self):
+        env, network, transport = build()
+        a = network.add_node(
+            NetworkNode(env, "a", Position(0, 0), technologies=[WIFI_ADHOC])
+        )
+
+        def run(env):
+            heard = yield transport.broadcast(a, "hello")
+            return heard
+
+        process = env.process(run(env))
+        assert env.run(until=process) == []
+        # The transmission itself still cost airtime bytes.
+        assert a.costs.total_bytes_sent > 0

@@ -1,0 +1,143 @@
+"""Unit tests for keys, capsule signing, and trust stores."""
+
+import random
+
+import pytest
+
+from repro.errors import SignatureInvalid, UntrustedPrincipal
+from repro.lmu import build_capsule, code_unit, CodeRepository
+from repro.security import (
+    KeyPair,
+    TrustStore,
+    capsule_verification_delay,
+    sign_capsule,
+    signing_delay,
+    verification_delay,
+    verify_capsule,
+)
+
+
+def make_capsule():
+    repository = CodeRepository()
+    repository.publish(
+        code_unit("app", "1.0.0", lambda: (lambda ctx: None), 1000)
+    )
+    return build_capsule("host-a", "cod-reply", ["app"], repository.resolve)
+
+
+def make_keypair(name="vendor", seed=1):
+    return KeyPair.generate(name, random.Random(seed))
+
+
+class TestKeyPair:
+    def test_sign_verify_roundtrip(self):
+        keys = make_keypair()
+        signature = keys.sign(b"hello")
+        assert keys.public_key.verify(b"hello", signature)
+
+    def test_tampered_data_fails(self):
+        keys = make_keypair()
+        signature = keys.sign(b"hello")
+        assert not keys.public_key.verify(b"HELLO", signature)
+
+    def test_wrong_signer_fails(self):
+        alice = make_keypair("alice", 1)
+        mallory = make_keypair("mallory", 2)
+        signature = mallory.sign(b"data")
+        assert not alice.public_key.verify(b"data", signature)
+
+    def test_forged_signer_name_fails(self):
+        alice = make_keypair("alice", 1)
+        mallory = make_keypair("mallory", 2)
+        forged = mallory.sign(b"data")
+        forged = type(forged)(signer="alice", tag=forged.tag)
+        assert not alice.public_key.verify(b"data", forged)
+
+    def test_deterministic_generation(self):
+        assert (
+            make_keypair(seed=3).sign(b"x").tag == make_keypair(seed=3).sign(b"x").tag
+        )
+
+    def test_empty_principal_rejected(self):
+        with pytest.raises(ValueError):
+            KeyPair("", b"secret")
+
+    def test_fingerprint_stable(self):
+        keys = make_keypair()
+        assert keys.public_key.fingerprint() == keys.public_key.fingerprint()
+
+
+class TestTrustStore:
+    def test_trust_and_lookup(self):
+        store = TrustStore()
+        keys = make_keypair()
+        store.trust(keys.public_key)
+        assert store.trusts("vendor")
+        assert store.key_of("vendor") is keys.public_key
+
+    def test_untrusted_lookup_raises(self):
+        with pytest.raises(UntrustedPrincipal):
+            TrustStore().key_of("stranger")
+
+    def test_revoke(self):
+        store = TrustStore()
+        store.trust(make_keypair().public_key)
+        store.revoke("vendor")
+        assert not store.trusts("vendor")
+        store.revoke("vendor")  # idempotent
+
+    def test_principals_sorted(self):
+        store = TrustStore()
+        store.trust(make_keypair("zed", 1).public_key)
+        store.trust(make_keypair("amy", 2).public_key)
+        assert store.principals() == ["amy", "zed"]
+
+
+class TestCapsuleSigning:
+    def test_signed_capsule_verifies(self):
+        keys = make_keypair()
+        capsule = make_capsule()
+        sign_capsule(keys, capsule)
+        store = TrustStore()
+        store.trust(keys.public_key)
+        assert verify_capsule(store, capsule) == "vendor"
+
+    def test_unsigned_capsule_rejected(self):
+        store = TrustStore()
+        with pytest.raises(SignatureInvalid):
+            verify_capsule(store, make_capsule())
+
+    def test_untrusted_signer_rejected(self):
+        keys = make_keypair()
+        capsule = make_capsule()
+        sign_capsule(keys, capsule)
+        with pytest.raises(UntrustedPrincipal):
+            verify_capsule(TrustStore(), capsule)
+
+    def test_tampered_capsule_rejected(self):
+        keys = make_keypair()
+        capsule = make_capsule()
+        sign_capsule(keys, capsule)
+        capsule.tamper()
+        store = TrustStore()
+        store.trust(keys.public_key)
+        with pytest.raises(SignatureInvalid):
+            verify_capsule(store, capsule)
+
+    def test_signature_adds_wire_bytes(self):
+        capsule = make_capsule()
+        before = capsule.size_bytes
+        sign_capsule(make_keypair(), capsule)
+        assert capsule.size_bytes > before
+
+
+class TestDelayModel:
+    def test_delays_grow_with_size(self):
+        assert signing_delay(1_000_000) > signing_delay(1_000)
+        assert verification_delay(1_000_000) > verification_delay(1_000)
+
+    def test_faster_cpu_is_faster(self):
+        assert signing_delay(1000, cpu_speed=2.0) < signing_delay(1000, cpu_speed=1.0)
+
+    def test_capsule_verification_delay_positive(self):
+        assert capsule_verification_delay(make_capsule()) > 0

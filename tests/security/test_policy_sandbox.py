@@ -1,0 +1,144 @@
+"""Unit tests for security policies and the sandbox."""
+
+import pytest
+
+from repro.errors import PolicyViolation, SandboxViolation
+from repro.security import (
+    CLIENT_ONLY_POLICY,
+    ExecutionContext,
+    OPEN_POLICY,
+    OP_ACCEPT_AGENT,
+    OP_ACCEPT_REV,
+    OP_SERVE_COD,
+    Sandbox,
+    SecurityPolicy,
+)
+
+
+class TestPolicy:
+    def test_default_allows_everything(self):
+        policy = SecurityPolicy()
+        policy.check(OP_ACCEPT_REV, "anyone")
+        policy.check(OP_ACCEPT_AGENT)
+
+    def test_operation_whitelist(self):
+        policy = SecurityPolicy(allowed_operations=frozenset({OP_SERVE_COD}))
+        policy.check(OP_SERVE_COD)
+        with pytest.raises(PolicyViolation):
+            policy.check(OP_ACCEPT_AGENT)
+
+    def test_principal_whitelist(self):
+        policy = SecurityPolicy(allowed_principals=frozenset({"alice"}))
+        policy.check(OP_ACCEPT_REV, "alice")
+        with pytest.raises(PolicyViolation):
+            policy.check(OP_ACCEPT_REV, "mallory")
+
+    def test_unknown_operation_is_programming_error(self):
+        with pytest.raises(ValueError):
+            SecurityPolicy().check("launch-missiles")
+
+    def test_unknown_operation_in_constructor(self):
+        with pytest.raises(ValueError):
+            SecurityPolicy(allowed_operations=frozenset({"bogus"}))
+
+    def test_allows_boolean_form(self):
+        assert CLIENT_ONLY_POLICY.allows("install-code")
+        assert not CLIENT_ONLY_POLICY.allows(OP_ACCEPT_AGENT)
+
+    def test_open_policy_unsigned(self):
+        assert not OPEN_POLICY.require_signatures
+
+
+class TestExecutionContext:
+    def test_charge_within_budget(self):
+        context = ExecutionContext("host", "guest", work_budget=100)
+        context.charge(60)
+        context.charge(40)
+        assert context.work_remaining == 0
+
+    def test_charge_over_budget_raises(self):
+        context = ExecutionContext("host", "guest", work_budget=100)
+        with pytest.raises(SandboxViolation):
+            context.charge(101)
+
+    def test_negative_charge_rejected(self):
+        context = ExecutionContext("host", "guest")
+        with pytest.raises(ValueError):
+            context.charge(-1)
+
+    def test_storage_within_budget(self):
+        context = ExecutionContext("host", "guest", storage_budget_bytes=10_000)
+        context.store("key", "value")
+        assert context.fetch("key") == "value"
+
+    def test_storage_over_budget_raises_and_rolls_back(self):
+        context = ExecutionContext("host", "guest", storage_budget_bytes=100)
+        with pytest.raises(SandboxViolation):
+            context.store("blob", "x" * 1000)
+        assert context.fetch("blob") is None
+
+    def test_discard(self):
+        context = ExecutionContext("host", "guest")
+        context.store("k", 1)
+        context.discard("k")
+        assert context.fetch("k") is None
+
+    def test_service_lookup(self):
+        context = ExecutionContext("host", "guest", services={"echo": len})
+        assert context.service("echo") is len
+        with pytest.raises(SandboxViolation):
+            context.service("missing")
+
+
+class TestSandbox:
+    def test_successful_run(self):
+        sandbox = Sandbox("host")
+        context = ExecutionContext("host", "guest")
+
+        def guest(ctx, x):
+            ctx.charge(10)
+            return x * 2
+
+        result = sandbox.run(guest, context, 21)
+        assert result.ok and result.value == 42
+        assert result.work_used == 10
+
+    def test_guest_exception_contained(self):
+        sandbox = Sandbox("host")
+        context = ExecutionContext("host", "guest")
+
+        def guest(ctx):
+            raise ValueError("guest bug")
+
+        result = sandbox.run(guest, context)
+        assert not result.ok
+        assert result.error_type == "ValueError"
+        assert "guest bug" in result.error
+
+    def test_budget_violation_reported(self):
+        sandbox = Sandbox("host")
+        context = ExecutionContext("host", "guest", work_budget=5)
+
+        def greedy(ctx):
+            ctx.charge(10)
+
+        result = sandbox.run(greedy, context)
+        assert not result.ok
+        assert result.error_type == "SandboxViolation"
+        assert sandbox.violations == 1
+
+    def test_cpu_seconds_mapping(self):
+        sandbox = Sandbox("host")
+        context = ExecutionContext("host", "guest")
+
+        def guest(ctx):
+            ctx.charge(1_000_000)
+
+        result = sandbox.run(guest, context)
+        assert result.cpu_seconds_reference == pytest.approx(1.0)
+
+    def test_execution_counter(self):
+        sandbox = Sandbox("host")
+        for _ in range(3):
+            sandbox.run(lambda ctx: None, ExecutionContext("host", "guest"))
+        assert sandbox.executions == 3

@@ -1,0 +1,232 @@
+"""Kernel edge cases: condition failures, interrupt races, event misuse."""
+
+import pytest
+
+from repro.errors import Interrupt, SimulationError
+from repro.sim import Environment
+from repro.sim.events import Condition
+
+
+class TestConditionFailures:
+    def test_any_of_fails_when_child_fails_first(self):
+        env = Environment()
+
+        def worker(env):
+            doomed = env.event()
+            healthy = env.timeout(10.0)
+
+            def fail_soon(env):
+                yield env.timeout(1.0)
+                doomed.fail(RuntimeError("child failed"))
+
+            env.process(fail_soon(env))
+            try:
+                yield env.any_of([doomed, healthy])
+            except RuntimeError as error:
+                return str(error)
+
+        process = env.process(worker(env))
+        assert env.run(until=process) == "child failed"
+
+    def test_all_of_fails_fast_on_any_child_failure(self):
+        env = Environment()
+        times = []
+
+        def worker(env):
+            doomed = env.event()
+            slow = env.timeout(100.0)
+
+            def fail_soon(env):
+                yield env.timeout(1.0)
+                doomed.fail(ValueError("nope"))
+
+            env.process(fail_soon(env))
+            try:
+                yield env.all_of([doomed, slow])
+            except ValueError:
+                times.append(env.now)
+
+        env.process(worker(env))
+        env.run()
+        assert times == [1.0]  # did not wait for the slow child
+
+    def test_late_failing_child_of_decided_condition_is_defused(self):
+        env = Environment()
+
+        def worker(env):
+            fast = env.timeout(1.0, value="fast")
+            doomed = env.event()
+
+            def fail_later(env):
+                yield env.timeout(5.0)
+                doomed.fail(RuntimeError("late failure"))
+
+            env.process(fail_later(env))
+            result = yield env.any_of([fast, doomed])
+            return list(result.values())
+
+        process = env.process(worker(env))
+        assert env.run(until=process) == ["fast"]
+        # The late failure must not crash the simulation when it fires.
+        env.run()
+
+    def test_condition_with_mixed_environments_rejected(self):
+        env_a = Environment()
+        env_b = Environment()
+        with pytest.raises(ValueError):
+            Condition(
+                env_a,
+                lambda events, count: True,
+                [env_a.timeout(1), env_b.timeout(1)],
+            )
+
+    def test_condition_over_already_processed_events(self):
+        env = Environment()
+        done = env.timeout(1.0, value="x")
+        env.run()
+
+        def worker(env):
+            result = yield env.all_of([done])
+            return list(result.values())
+
+        process = env.process(worker(env))
+        assert env.run(until=process) == ["x"]
+
+
+class TestInterruptRaces:
+    def test_interrupt_while_waiting_on_process(self):
+        env = Environment()
+        outcome = []
+
+        def inner(env):
+            yield env.timeout(100.0)
+            return "inner done"
+
+        def outer(env):
+            child = env.process(inner(env))
+            try:
+                result = yield child
+                outcome.append(result)
+            except Interrupt:
+                outcome.append("interrupted")
+                # The child keeps running independently.
+                result = yield child
+                outcome.append(result)
+
+        def interrupter(env, victim):
+            yield env.timeout(1.0)
+            victim.interrupt()
+
+        victim = env.process(outer(env))
+        env.process(interrupter(env, victim))
+        env.run()
+        assert outcome == ["interrupted", "inner done"]
+
+    def test_double_interrupt_delivers_twice(self):
+        env = Environment()
+        causes = []
+
+        def sleeper(env):
+            for _ in range(2):
+                try:
+                    yield env.timeout(100.0)
+                except Interrupt as interrupt:
+                    causes.append(interrupt.cause)
+
+        def interrupter(env, victim):
+            yield env.timeout(1.0)
+            victim.interrupt("first")
+            yield env.timeout(1.0)
+            victim.interrupt("second")
+
+        victim = env.process(sleeper(env))
+        env.process(interrupter(env, victim))
+        env.run()
+        assert causes == ["first", "second"]
+
+    def test_interrupt_cause_none_by_default(self):
+        env = Environment()
+        seen = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(10.0)
+            except Interrupt as interrupt:
+                seen.append(interrupt.cause)
+
+        def interrupter(env, victim):
+            yield env.timeout(1.0)
+            victim.interrupt()
+
+        victim = env.process(sleeper(env))
+        env.process(interrupter(env, victim))
+        env.run()
+        assert seen == [None]
+
+
+class TestEventMisuse:
+    def test_fail_then_succeed_rejected(self):
+        env = Environment()
+        event = env.event()
+        event.fail(RuntimeError("x"))
+        event._defused = True
+        with pytest.raises(SimulationError):
+            event.succeed()
+        env.run()
+
+    def test_callback_on_processed_event_rejected(self):
+        env = Environment()
+        timeout = env.timeout(1.0)
+        env.run()
+        with pytest.raises(SimulationError):
+            timeout.add_callback(lambda event: None)
+
+    def test_ok_before_trigger_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            _ = env.event().ok
+
+    def test_schedule_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.schedule(env.event(), delay=-1.0)
+
+
+class TestRunSemantics:
+    def test_run_until_failed_event_raises(self):
+        env = Environment()
+
+        def failer(env):
+            yield env.timeout(1.0)
+            raise RuntimeError("process died")
+
+        process = env.process(failer(env))
+        with pytest.raises(RuntimeError, match="process died"):
+            env.run(until=process)
+
+    def test_run_until_event_that_never_fires(self):
+        env = Environment()
+        orphan = env.event()
+        env.timeout(5.0)
+        with pytest.raises(SimulationError, match="ran dry"):
+            env.run(until=orphan)
+
+    def test_nested_processes_compose(self):
+        env = Environment()
+
+        def leaf(env, value):
+            yield env.timeout(1.0)
+            return value * 2
+
+        def middle(env):
+            first = yield env.process(leaf(env, 10))
+            second = yield env.process(leaf(env, first))
+            return second
+
+        def root(env):
+            result = yield env.process(middle(env))
+            return result
+
+        process = env.process(root(env))
+        assert env.run(until=process) == 40
+        assert env.now == 2.0

@@ -1,0 +1,110 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestCliInProcess:
+    def test_info_returns_zero(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro 1.0.0" in out
+        assert "E1-E10" in out
+
+    def test_assess_defaults(self, capsys):
+        assert main(["assess"]) == 0
+        out = capsys.readouterr().out
+        assert "Paradigm assessment" in out
+        assert "winner" in out
+
+    def test_assess_flags_change_output(self, capsys):
+        main(["assess", "--interactions", "1", "--code-bytes", "500000"])
+        out = capsys.readouterr().out
+        assert "n=1" in out
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_parser_knows_all_commands(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("info", "demo", "assess"):
+            assert command in text
+
+
+class TestCliSubprocess:
+    def test_module_entry_point(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "info"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert completed.returncode == 0
+        assert "logical-mobility middleware" in completed.stdout
+
+
+class TestWorldSummary:
+    def test_summary_combines_metrics_and_fleet(self):
+        from repro.core import World, mutual_trust, standard_host
+        from repro.net import Position, WIFI_ADHOC
+
+        world = World(seed=3)
+        world.transport._rng.random = lambda: 0.999
+        a = standard_host(world, "a", Position(0, 0), [WIFI_ADHOC])
+        b = standard_host(world, "b", Position(10, 0), [WIFI_ADHOC])
+        mutual_trust(a, b)
+        b.register_service("s", lambda args, host: (1, 100))
+
+        def go():
+            yield from a.component("cs").call("b", "s")
+
+        process = world.env.process(go())
+        world.run(until=process)
+        world.run(until=world.now + 2.0)  # let ack bookkeeping settle
+        summary = world.summary()
+        assert summary["world.nodes"] == 2.0
+        assert summary["fleet.bytes_sent"] > 0
+        assert summary["fleet.bytes_sent"] == summary["fleet.bytes_received"]
+        assert summary["cs.calls"] == 1
+
+
+class TestBatteryCrash:
+    def test_flat_battery_takes_host_down(self):
+        from repro.core import Battery, ContextMonitor, World, standard_host
+        from repro.net import Position, WIFI_ADHOC
+
+        world = World(seed=4)
+        host = standard_host(
+            world,
+            "h",
+            Position(0, 0),
+            [WIFI_ADHOC],
+            battery=Battery(capacity_joules=1.0, idle_watts=0.5),
+        )
+        ContextMonitor(host, interval=1.0, crash_on_empty_battery=True)
+        world.run(until=10.0)
+        assert host.battery.empty
+        assert not host.node.up
+
+    def test_without_flag_host_stays_up(self):
+        from repro.core import Battery, ContextMonitor, World, standard_host
+        from repro.net import Position, WIFI_ADHOC
+
+        world = World(seed=4)
+        host = standard_host(
+            world,
+            "h",
+            Position(0, 0),
+            [WIFI_ADHOC],
+            battery=Battery(capacity_joules=1.0, idle_watts=0.5),
+        )
+        ContextMonitor(host, interval=1.0)
+        world.run(until=10.0)
+        assert host.battery.empty
+        assert host.node.up

@@ -1,0 +1,39 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Each example is executed in a subprocess (the way a user runs it) and
+must exit cleanly with its expected headline in the output.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+#: (script, timeout seconds, substring that must appear in stdout)
+EXAMPLES = [
+    ("quickstart.py", 120, "agent completed"),
+    ("codec_on_demand.py", 120, "preinstall-everything fails"),
+    ("shopping_agent.py", 120, "cheaper"),
+    ("adaptive_offload.py", 120, "decisions:"),
+    ("design_assessment.py", 120, "winner"),
+    ("disaster_mesh.py", 300, "agent delivery"),
+    ("field_survey.py", 120, "uploads reaching HQ : 24 / 24"),
+]
+
+
+@pytest.mark.parametrize(
+    "script,timeout,expected", EXAMPLES, ids=[e[0] for e in EXAMPLES]
+)
+def test_example_runs(script, timeout, expected):
+    path = os.path.join(EXAMPLES_DIR, script)
+    completed = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert expected in completed.stdout

@@ -1,0 +1,138 @@
+"""Unit tests for Lime-style federated tuple spaces."""
+
+import pytest
+
+from repro.core import World, mutual_trust, standard_host
+from repro.errors import TupleSpaceError
+from repro.net import Position, WIFI_ADHOC
+from repro.tuplespace import ANY, LimeSpace
+from tests.core.conftest import loss_free, run
+
+
+def lime_world(positions):
+    world = loss_free(World(seed=13))
+    hosts = []
+    for index, (x, y) in enumerate(positions):
+        host = standard_host(world, f"h{index}", Position(x, y), [WIFI_ADHOC])
+        host.add_component(LimeSpace(scan_interval=0.5))
+        hosts.append(host)
+    mutual_trust(*hosts)
+    return world, hosts
+
+
+class TestEngagement:
+    def test_peers_in_range_engage(self):
+        world, hosts = lime_world([(0, 0), (20, 0)])
+        world.run(until=2.0)
+        assert hosts[0].component("lime").engaged == {"h1"}
+        assert hosts[1].component("lime").engaged == {"h0"}
+
+    def test_distant_peers_do_not_engage(self):
+        world, hosts = lime_world([(0, 0), (5000, 0)])
+        world.run(until=2.0)
+        assert hosts[0].component("lime").engaged == set()
+
+    def test_disengage_on_departure(self):
+        world, hosts = lime_world([(0, 0), (20, 0)])
+        world.run(until=2.0)
+        hosts[1].node.move_to(Position(5000, 0))
+        world.run(until=4.0)
+        assert hosts[0].component("lime").engaged == set()
+        assert world.metrics.counter("lime.disengagements").value >= 1
+
+
+class TestLocalOps:
+    def test_out_rdp_inp(self):
+        world, hosts = lime_world([(0, 0)])
+        world.run(until=1.0)
+        lime = hosts[0].component("lime")
+        lime.out(("reading", "h0", 21.5))
+        assert lime.rdp(("reading", ANY, ANY)) == ("reading", "h0", 21.5)
+        assert lime.inp(("reading", ANY, ANY)) == ("reading", "h0", 21.5)
+        assert lime.rdp(("reading", ANY, ANY)) is None
+
+
+class TestFederatedOps:
+    def test_rd_all_spans_engaged_spaces(self):
+        world, hosts = lime_world([(0, 0), (20, 0), (40, 0)])
+        world.run(until=2.0)
+        for index, host in enumerate(hosts):
+            host.component("lime").out(("reading", host.id, index * 10))
+
+        def go():
+            results = yield from hosts[0].component("lime").federated_rd_all(
+                ("reading", ANY, ANY)
+            )
+            return sorted(results)
+
+        results = run(world, go())
+        assert len(results) == 3
+
+    def test_in_all_removes_remotely(self):
+        world, hosts = lime_world([(0, 0), (20, 0)])
+        world.run(until=2.0)
+        hosts[1].component("lime").out(("job", 1))
+
+        def go():
+            taken = yield from hosts[0].component("lime").federated_in_all(
+                ("job", ANY)
+            )
+            return taken
+
+        taken = run(world, go())
+        assert taken == [("job", 1)]
+        assert hosts[1].component("lime").rdp(("job", ANY)) is None
+
+    def test_query_skips_departed_peer(self):
+        world, hosts = lime_world([(0, 0), (20, 0)])
+        world.run(until=2.0)
+        hosts[1].component("lime").out(("reading", 1))
+        # Peer leaves between engagement scan and query.
+        hosts[1].node.move_to(Position(5000, 0))
+
+        def go():
+            results = yield from hosts[0].component("lime").federated_rd_all(
+                ("reading", ANY), timeout=2.0
+            )
+            return results
+
+        assert run(world, go()) == []
+
+    def test_out_to_places_remotely(self):
+        world, hosts = lime_world([(0, 0), (20, 0)])
+        world.run(until=2.0)
+
+        def go():
+            yield from hosts[0].component("lime").out_to("h1", ("gift", 42))
+            yield world.env.timeout(1.0)
+            return hosts[1].component("lime").rdp(("gift", ANY))
+
+        assert run(world, go()) == ("gift", 42)
+
+    def test_out_to_unengaged_peer_rejected(self):
+        world, hosts = lime_world([(0, 0), (5000, 0)])
+        world.run(until=2.0)
+
+        def go():
+            yield from hosts[0].component("lime").out_to("h1", ("gift", 1))
+
+        with pytest.raises(TupleSpaceError):
+            run(world, go())
+
+    def test_federated_query_moves_tuple_bytes(self):
+        world, hosts = lime_world([(0, 0), (20, 0)])
+        world.run(until=2.0)
+        for value in range(50):
+            hosts[1].component("lime").out(("bulk", "x" * 100, value))
+        bytes_before = hosts[0].node.costs.total_bytes_received
+
+        def go():
+            results = yield from hosts[0].component("lime").federated_rd_all(
+                ("bulk", ANY, ANY)
+            )
+            return results
+
+        results = run(world, go())
+        assert len(results) == 50
+        moved = hosts[0].node.costs.total_bytes_received - bytes_before
+        assert moved > 50 * 100  # the raw tuples crossed the radio

@@ -1,0 +1,117 @@
+"""Integration tests for Lime remote reactions."""
+
+import pytest
+
+from repro.core import World, mutual_trust, standard_host
+from repro.errors import TupleSpaceError
+from repro.net import Position, WIFI_ADHOC
+from repro.tuplespace import ANY, LimeSpace
+from tests.core.conftest import loss_free, run
+
+
+def pair():
+    world = loss_free(World(seed=171))
+    a = standard_host(world, "a", Position(0, 0), [WIFI_ADHOC])
+    b = standard_host(world, "b", Position(20, 0), [WIFI_ADHOC])
+    for host in (a, b):
+        host.add_component(LimeSpace(scan_interval=0.5))
+    mutual_trust(a, b)
+    world.run(until=2.0)  # engagement
+    return world, a, b
+
+
+class TestRemoteReactions:
+    def test_listener_fires_on_remote_out(self):
+        world, a, b = pair()
+        seen = []
+
+        def go():
+            yield from a.component("lime").react_remote(
+                "b", ("alert", ANY), lambda item: seen.append(item)
+            )
+
+        run(world, go())
+        b.component("lime").out(("alert", "fire"))
+        b.component("lime").out(("normal", 0))
+        world.run(until=world.now + 5.0)
+        assert seen == [("alert", "fire")]
+
+    def test_reaction_only_for_future_outs(self):
+        world, a, b = pair()
+        b.component("lime").out(("alert", "before"))
+        seen = []
+
+        def go():
+            yield from a.component("lime").react_remote(
+                "b", ("alert", ANY), lambda item: seen.append(item)
+            )
+
+        run(world, go())
+        world.run(until=world.now + 3.0)
+        assert seen == []  # pre-existing tuples do not fire reactions
+
+    def test_unreact_stops_events(self):
+        world, a, b = pair()
+        seen = []
+
+        def go():
+            reaction_id = yield from a.component("lime").react_remote(
+                "b", ("alert", ANY), lambda item: seen.append(item)
+            )
+            yield from a.component("lime").unreact_remote("b", reaction_id)
+
+        run(world, go())
+        b.component("lime").out(("alert", "late"))
+        world.run(until=world.now + 5.0)
+        assert seen == []
+
+    def test_multiple_subscribers_independent(self):
+        world, a, b = pair()
+        seen_a = []
+        c = standard_host(world, "c", Position(10, 10), [WIFI_ADHOC])
+        c.add_component(LimeSpace(scan_interval=0.5))
+        mutual_trust(a, b, c)
+        world.run(until=world.now + 2.0)
+        seen_c = []
+
+        def go_a():
+            yield from a.component("lime").react_remote(
+                "b", ("alert", ANY), lambda item: seen_a.append(item)
+            )
+
+        def go_c():
+            yield from c.component("lime").react_remote(
+                "b", ("alert", int), lambda item: seen_c.append(item)
+            )
+
+        run(world, go_a())
+        run(world, go_c())
+        b.component("lime").out(("alert", "text"))
+        b.component("lime").out(("alert", 42))
+        world.run(until=world.now + 5.0)
+        assert seen_a == [("alert", "text"), ("alert", 42)]
+        assert seen_c == [("alert", 42)]
+
+    def test_unengaged_peer_rejected(self):
+        world, a, b = pair()
+        b.node.move_to(Position(5000, 0))
+        world.run(until=world.now + 2.0)
+
+        def go():
+            yield from a.component("lime").react_remote(
+                "b", ("alert", ANY), lambda item: None
+            )
+
+        with pytest.raises(TupleSpaceError):
+            run(world, go())
+
+    def test_event_counts_metrics(self):
+        world, a, b = pair()
+
+        def go():
+            yield from a.component("lime").react_remote(
+                "b", ("x", ANY), lambda item: None
+            )
+
+        run(world, go())
+        assert world.metrics.counter("lime.remote_reactions").value == 1

@@ -1,0 +1,164 @@
+"""Unit tests for the Linda tuple space."""
+
+import pytest
+
+from repro.errors import TupleSpaceError
+from repro.sim import Environment
+from repro.tuplespace import ANY, Template, TupleSpace, as_template
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def space(env):
+    return TupleSpace(env)
+
+
+class TestTemplateMatching:
+    def test_exact_values(self):
+        assert Template("a", 1).matches(("a", 1))
+        assert not Template("a", 1).matches(("a", 2))
+
+    def test_wildcard(self):
+        assert Template("a", ANY).matches(("a", 99))
+
+    def test_type_matching(self):
+        assert Template("a", int).matches(("a", 5))
+        assert not Template("a", int).matches(("a", "five"))
+
+    def test_predicate_matching(self):
+        assert Template("t", lambda v: v > 10).matches(("t", 11))
+        assert not Template("t", lambda v: v > 10).matches(("t", 9))
+
+    def test_predicate_errors_are_non_matches(self):
+        assert not Template("t", lambda v: v > 10).matches(("t", "nan"))
+
+    def test_arity_must_match(self):
+        assert not Template("a").matches(("a", 1))
+
+    def test_non_tuple_never_matches(self):
+        assert not Template(ANY).matches(["list"])
+
+    def test_as_template_accepts_tuple(self):
+        assert as_template(("a", ANY)).matches(("a", 1))
+
+    def test_as_template_rejects_garbage(self):
+        with pytest.raises(TupleSpaceError):
+            as_template("string")
+
+
+class TestNonBlockingOps:
+    def test_out_and_rdp(self, space):
+        space.out(("reading", 20))
+        assert space.rdp(("reading", ANY)) == ("reading", 20)
+        assert len(space) == 1  # rdp does not remove
+
+    def test_inp_removes(self, space):
+        space.out(("reading", 20))
+        assert space.inp(("reading", ANY)) == ("reading", 20)
+        assert len(space) == 0
+
+    def test_miss_returns_none(self, space):
+        assert space.rdp(("nope", ANY)) is None
+        assert space.inp(("nope", ANY)) is None
+
+    def test_out_rejects_non_tuple(self, space):
+        with pytest.raises(TupleSpaceError):
+            space.out(["not", "a", "tuple"])
+
+    def test_rd_all_and_in_all(self, space):
+        for value in (1, 2, 3):
+            space.out(("r", value))
+        space.out(("other", 9))
+        assert space.rd_all(("r", ANY)) == [("r", 1), ("r", 2), ("r", 3)]
+        assert len(space) == 4
+        taken = space.in_all(("r", ANY))
+        assert len(taken) == 3
+        assert len(space) == 1
+
+    def test_size_bytes_grows(self, space):
+        before = space.size_bytes
+        space.out(("data", "x" * 1000))
+        assert space.size_bytes > before + 900
+
+
+class TestBlockingOps:
+    def test_rd_immediate_when_present(self, env, space):
+        space.out(("k", 1))
+
+        def reader(env):
+            value = yield space.rd(("k", ANY))
+            return value
+
+        process = env.process(reader(env))
+        assert env.run(until=process) == ("k", 1)
+        assert len(space) == 1
+
+    def test_rd_blocks_until_out(self, env, space):
+        log = []
+
+        def reader(env):
+            value = yield space.rd(("k", ANY))
+            log.append((env.now, value))
+
+        def writer(env):
+            yield env.timeout(5.0)
+            space.out(("k", 42))
+
+        env.process(reader(env))
+        env.process(writer(env))
+        env.run()
+        assert log == [(5.0, ("k", 42))]
+
+    def test_in_blocks_and_removes(self, env, space):
+        def taker(env):
+            value = yield space.in_(("k", ANY))
+            return value
+
+        def writer(env):
+            yield env.timeout(1.0)
+            space.out(("k", 7))
+
+        process = env.process(taker(env))
+        env.process(writer(env))
+        assert env.run(until=process) == ("k", 7)
+        assert len(space) == 0
+
+    def test_competing_takers_get_distinct_tuples(self, env, space):
+        received = []
+
+        def taker(env):
+            value = yield space.in_(("k", ANY))
+            received.append(value)
+
+        env.process(taker(env))
+        env.process(taker(env))
+
+        def writer(env):
+            yield env.timeout(1.0)
+            space.out(("k", 1))
+            space.out(("k", 2))
+
+        env.process(writer(env))
+        env.run()
+        assert sorted(received) == [("k", 1), ("k", 2)]
+
+
+class TestReactions:
+    def test_reaction_fires_on_match(self, space):
+        seen = []
+        space.react(("alert", ANY), lambda item: seen.append(item))
+        space.out(("alert", "fire"))
+        space.out(("normal", 1))
+        assert seen == [("alert", "fire")]
+
+    def test_unsubscribe(self, space):
+        seen = []
+        unsubscribe = space.react(("alert", ANY), lambda item: seen.append(item))
+        unsubscribe()
+        space.out(("alert", "fire"))
+        assert seen == []
+        unsubscribe()  # idempotent
