@@ -10,17 +10,73 @@ qualitative shape.
 from __future__ import annotations
 
 import os
-from typing import Generator
+from typing import Generator, Optional
 
 from repro.core import World
+from repro.obs import RunReport, SimProfiler
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def quick() -> bool:
+    """True when the run should shrink sweeps (CI smoke mode).
+
+    Set by ``pytest benchmarks --quick`` (see conftest.py) or the
+    ``REPRO_QUICK`` environment variable.
+    """
+    return bool(os.environ.get("REPRO_QUICK"))
 
 
 def run_process(world: World, generator: Generator):
     """Run a generator as a kernel process to completion."""
     process = world.env.process(generator)
     return world.run(until=process)
+
+
+def instrument(world: World) -> SimProfiler:
+    """Switch on full observability for ``world``; returns the profiler.
+
+    Enables the trace log and span tracer (normally off in benchmark
+    worlds) and attaches a :class:`SimProfiler` to the kernel so the
+    run report carries a profile section.
+    """
+    world.trace.enabled = True
+    world.tracer.enabled = True
+    return world.profile()
+
+
+def write_report(
+    name: str,
+    world: World,
+    profiler: Optional[SimProfiler] = None,
+    params: Optional[dict] = None,
+) -> str:
+    """Capture a RunReport for ``world`` and write it as JSON.
+
+    The file lands at ``benchmarks/results/<name>.json`` — the
+    machine-readable sibling of the rendered ``.txt`` table.  Render
+    it later with ``python -m repro report <name>``.
+    """
+    if profiler is not None and profiler.attached:
+        profiler.detach()
+    report = RunReport.capture(name, world, profiler=profiler, params=params)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    report.write(path)
+    return path
+
+
+def write_report_data(
+    name: str,
+    metrics: Optional[dict] = None,
+    params: Optional[dict] = None,
+) -> str:
+    """Write a bare RunReport (for analytical benches with no World)."""
+    report = RunReport(name=name, metrics=metrics, params=params)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    report.write(path)
+    return path
 
 
 def write_result(name: str, text: str) -> str:

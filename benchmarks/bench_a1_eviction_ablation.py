@@ -16,7 +16,7 @@ from repro.lmu import largest_first_policy, lfu_policy, lru_policy
 from repro.net import GPRS, LAN, Position
 from repro.workloads import zipf_indices
 
-from _common import once, run_process, write_result
+from _common import instrument, once, run_process, write_report, write_result
 
 QUOTA = 500_000
 REQUESTS = 80
@@ -27,8 +27,9 @@ POLICIES = [
 ]
 
 
-def run_policy(name, policy):
+def run_policy(name, policy, observe=False):
     world = World(seed=111)
+    profiler = instrument(world) if observe else None
     world.transport._rng.random = lambda: 0.999
     pda = standard_host(
         world, "pda", Position(0, 0), [GPRS], cpu_speed=0.2, quota_bytes=QUOTA
@@ -50,6 +51,8 @@ def run_policy(name, policy):
             yield from player.play(format_name)
 
     run_process(world, go())
+    if observe:
+        return world, profiler
     misses = sum(1 for record in player.history if record.outcome == "miss")
     return [
         name,
@@ -84,6 +87,11 @@ def test_a1_eviction_ablation(benchmark):
         note="identical playlist and quota; only the eviction policy differs",
     )
     write_result("a1_eviction_ablation", table)
+    world, profiler = run_policy("lfu", lfu_policy, observe=True)
+    write_report(
+        "a1_eviction_ablation", world, profiler,
+        params={"quota": QUOTA, "requests": REQUESTS, "policy": "lfu"},
+    )
 
     # Every policy sustains full playback (the COD story of E2)...
     for row in rows:

@@ -17,7 +17,7 @@ from repro.core import World
 from repro.net import Area, Position, RandomWaypoint
 from repro.workloads import adhoc_fleet
 
-from _common import once, write_result
+from _common import instrument, once, write_report, write_result
 
 SITE = Area(500.0, 500.0)
 NODES = 12
@@ -26,8 +26,9 @@ TTL = 900.0
 COPY_COUNTS = [1, 2, 4, 8]
 
 
-def run_trial(copies, seed):
+def run_trial(copies, seed, observe=False):
     world = World(seed=seed)
+    profiler = instrument(world) if observe else None
     hosts = adhoc_fleet(world, NODES, SITE, placement="random")
     source, destination = hosts[0], hosts[-1]
     source.node.move_to(Position(10.0, 10.0))
@@ -47,6 +48,8 @@ def run_trial(copies, seed):
     else:
         send_via_spray(source, destination.id, "sos", copies=copies, ttl=TTL)
     world.run(until=TTL + 5.0)
+    if observe:
+        return world, profiler
     delivered = bool(log.received)
     latency = log.received[0][2] if delivered else TTL
     radio_bytes = sum(host.node.costs.total_bytes_sent for host in hosts)
@@ -89,6 +92,11 @@ def test_a2_spray_ablation(benchmark):
         note="L=1 is the E3 custody messenger; L>1 is binary spray-and-wait",
     )
     write_result("a2_spray_ablation", table)
+    world, profiler = run_trial(4, seed=1200, observe=True)
+    write_report(
+        "a2_spray_ablation", world, profiler,
+        params={"nodes": NODES, "copies": 4, "ttl": TTL},
+    )
 
     by_copies = {row[0]: row for row in rows}
     # More copies never hurt delivery, and the top setting beats single-copy.

@@ -18,7 +18,7 @@ from repro.analysis import render_table
 from repro.core import World, mutual_trust, service, standard_host
 from repro.net import Position, WIFI_ADHOC
 
-from _common import once, run_process, write_result
+from _common import instrument, once, run_process, write_report, write_result
 
 DURATION = 300.0
 LOOKUP_COUNTS = [3, 30, 150]
@@ -29,8 +29,9 @@ CONFIGURATIONS = [
 ]
 
 
-def run_cell(lookups, beacon_interval):
+def run_cell(lookups, beacon_interval, observe=False):
     world = World(seed=131)
+    profiler = instrument(world) if observe else None
     world.transport._rng.random = lambda: 0.999
     client = standard_host(world, "client", Position(0, 0), [WIFI_ADHOC])
     provider = standard_host(
@@ -58,6 +59,8 @@ def run_cell(lookups, beacon_interval):
             yield world.env.timeout(interval)
 
     run_process(world, go())
+    if observe:
+        return world, profiler
     total_bytes = (
         client.node.costs.total_bytes_sent
         + provider.node.costs.total_bytes_sent
@@ -89,6 +92,11 @@ def test_a3_discovery_ablation(benchmark):
         note="one provider in range; cache answers lookups between beacons",
     )
     write_result("a3_discovery_ablation", table)
+    world, profiler = run_cell(3, beacon_interval=None, observe=True)
+    write_report(
+        "a3_discovery_ablation", world, profiler,
+        params={"lookups": 3, "beacon_interval": None},
+    )
 
     by_lookups = {row[0]: row for row in rows}
     # Beaconing keeps lookup latency near zero (cache hits)...

@@ -25,7 +25,7 @@ from repro.core import (
 from repro.net import GPRS, LAN, Position, WIFI_INFRA
 from repro.workloads import zipf_indices
 
-from _common import once, run_process, write_result
+from _common import instrument, once, run_process, write_report, write_result
 
 HOME_WINDOW = 120.0  # seconds on the free hotspot before leaving
 PLAYS = 30
@@ -56,8 +56,9 @@ def commute_playlist(world):
     return [formats[i] for i in zipf_indices(rng, len(formats), PLAYS)]
 
 
-def run_strategy(prefetch):
+def run_strategy(prefetch, observe=False):
     world, device, store = build()
+    profiler = instrument(world) if observe else None
     player = MediaPlayer(device, "store")
     playlist = commute_playlist(world)
     if prefetch:
@@ -84,6 +85,8 @@ def run_strategy(prefetch):
             yield world.env.timeout(10.0)
 
     run_process(world, go())
+    if observe:
+        return world, profiler
     costs = device.node.costs
     gprs_bytes = costs.bytes_sent.get("gprs", 0) + costs.bytes_received.get(
         "gprs", 0
@@ -122,6 +125,11 @@ def test_a4_prefetch_ablation(benchmark):
         note=f"{HOME_WINDOW:.0f}s free-link window before leaving home",
     )
     write_result("a4_prefetch_ablation", table)
+    world, profiler = run_strategy(prefetch=True, observe=True)
+    write_report(
+        "a4_prefetch_ablation", world, profiler,
+        params={"strategy": "prefetch", "plays": PLAYS},
+    )
 
     on_demand, prefetch = rows[0], rows[1]
     # Prefetching moves bytes onto the free link...

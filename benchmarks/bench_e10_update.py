@@ -27,7 +27,7 @@ from repro.core import (
 from repro.lmu import CodeRepository, Version
 from repro.net import GPRS, LAN, Message, Position
 
-from _common import once, run_process, write_result
+from _common import instrument, once, run_process, write_report, write_result
 
 PROBE_INTERVAL = 0.5
 PROBES = 60
@@ -65,8 +65,9 @@ def build(seed):
     return world, phone, server
 
 
-def run_strategy(strategy, seed=1010):
+def run_strategy(strategy, seed=1010, observe=False):
     world, phone, server = build(seed)
+    profiler = instrument(world) if observe else None
 
     def prober():
         for _ in range(PROBES):
@@ -102,6 +103,8 @@ def run_strategy(strategy, seed=1010):
     update_process = world.env.process(updater())
     report = world.run(until=update_process)
     world.run(until=PROBES * PROBE_INTERVAL + 5.0)
+    if observe:
+        return world, profiler
     return report
 
 
@@ -130,6 +133,10 @@ def test_e10_update(benchmark):
         note=f"discovery probes every {PROBE_INTERVAL}s during the update",
     )
     write_result("e10_update", table)
+    world, profiler = run_strategy("hot-swap", observe=True)
+    write_report(
+        "e10_update", world, profiler, params={"strategy": "hot-swap"}
+    )
 
     # Hot swap ships one component; reinstall ships the stack.
     assert hot.bytes_transferred < reinstall.bytes_transferred

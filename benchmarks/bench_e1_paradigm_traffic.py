@@ -20,7 +20,14 @@ from repro.core import Agent, World, mutual_trust, standard_host
 from repro.lmu import CodeRepository, code_unit
 from repro.net import GPRS, LAN, Position
 
-from _common import once, run_process, write_result
+from _common import (
+    instrument,
+    once,
+    quick,
+    run_process,
+    write_report,
+    write_result,
+)
 
 INTERACTIONS = [1, 2, 5, 10, 20, 50]
 REQUEST_BYTES = 200
@@ -132,10 +139,24 @@ def run_ma(rounds):
     return device.node.costs.wireless_bytes(), world.now
 
 
-def run_experiment():
+def run_instrumented(rounds=5):
+    """One REV run with full observability on, for the run report."""
+    world, device, server = build_world()
+    profiler = instrument(world)
+    device.codebase.install(task_unit(rounds))
+
+    def go():
+        yield from device.component("rev").evaluate("server", ["task"])
+
+    run_process(world, go())
+    world.run(until=world.now + 60.0)  # drain server-side handler spans
+    return world, profiler
+
+
+def run_experiment(interactions=INTERACTIONS):
     rows = []
     series = {"cs": [], "rev": [], "cod": [], "ma": []}
-    for rounds in INTERACTIONS:
+    for rounds in interactions:
         cs_bytes, cs_time = run_cs(rounds)
         rev_bytes, rev_time = run_rev(rounds)
         cod_bytes, cod_time = run_cod(rounds)
@@ -161,7 +182,8 @@ def run_experiment():
 
 
 def test_e1_paradigm_traffic(benchmark):
-    rows, series = once(benchmark, run_experiment)
+    interactions = [1, 5] if quick() else INTERACTIONS
+    rows, series = once(benchmark, lambda: run_experiment(interactions))
     table = render_table(
         "E1 / Table 1 — device wireless bytes and completion time vs interactions n",
         [
@@ -180,9 +202,24 @@ def test_e1_paradigm_traffic(benchmark):
     )
     write_result("e1_paradigm_traffic", table)
 
+    world, profiler = run_instrumented()
+    write_report(
+        "e1_paradigm_traffic",
+        world,
+        profiler,
+        params={
+            "interactions": interactions,
+            "request_bytes": REQUEST_BYTES,
+            "reply_bytes": REPLY_BYTES,
+            "code_bytes": CODE_BYTES,
+        },
+    )
+
     # Shape: CS wins on bytes at n=1 ...
     first = rows[0]
     assert first[1] == min(first[1:5]), "CS should be cheapest at n=1"
+    if quick():
+        return  # smoke mode: shrunk sweep has no crossover to assert on
     # ... but loses to both REV and COD by n=50.
     last = rows[-1]
     assert last[2] < last[1] and last[3] < last[1]

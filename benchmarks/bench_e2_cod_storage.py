@@ -23,7 +23,7 @@ from repro.lmu import lru_policy
 from repro.net import GPRS, LAN, Position
 from repro.workloads import zipf_indices
 
-from _common import once, run_process, write_result
+from _common import instrument, once, run_process, write_report, write_result
 
 QUOTAS = [300_000, 500_000, 800_000, 1_200_000, 2_000_000]
 REQUESTS = 60
@@ -89,8 +89,9 @@ def run_preinstall(quota):
     return successes / REQUESTS, 0.02, pda.codebase.used_bytes
 
 
-def run_cod(quota, eviction):
+def run_cod(quota, eviction, observe=False):
     world, pda, store = build(quota, eviction=eviction)
+    profiler = instrument(world) if observe else None
     player = MediaPlayer(pda, "store")
     stream = playlist(world)
     successes = 0
@@ -105,6 +106,8 @@ def run_cod(quota, eviction):
                 continue
 
     run_process(world, go())
+    if observe:
+        return world, profiler
     return (
         successes / REQUESTS,
         player.mean_time_to_play(),
@@ -151,6 +154,11 @@ def test_e2_cod_storage(benchmark):
         note="catalogue 1.5MB across 10 codecs + shared DSP library",
     )
     write_result("e2_cod_storage", table)
+    world, profiler = run_cod(QUOTAS[0], eviction=lru_policy, observe=True)
+    write_report(
+        "e2_cod_storage", world, profiler,
+        params={"quota": QUOTAS[0], "eviction": "lru", "requests": REQUESTS},
+    )
 
     for row in rows:
         quota_kb, pre_ok, ne_ok, lru_ok = row[0], row[1], row[2], row[3]

@@ -19,7 +19,7 @@ from repro.core import World
 from repro.net import Area, Position, RandomWaypoint
 from repro.workloads import adhoc_fleet
 
-from _common import once, run_process, write_result
+from _common import instrument, once, run_process, write_report, write_result
 
 SITE = Area(500.0, 500.0)
 DENSITIES = [6, 10, 16, 24]
@@ -44,11 +44,14 @@ def build_trial(count, seed):
     return world, source, destination
 
 
-def run_ma_trial(count, seed):
+def run_ma_trial(count, seed, observe=False):
     world, source, destination = build_trial(count, seed)
+    profiler = instrument(world) if observe else None
     log = DeliveryLog(destination)
     send_via_agent(source, destination.id, "sos", ttl=TTL)
     world.run(until=TTL + 5.0)
+    if observe:
+        return world, profiler
     if log.received:
         return True, log.received[0][2]
     return False, TTL
@@ -118,6 +121,11 @@ def test_e3_disaster(benchmark):
         note=f"{TRIALS} trials per cell; corner-to-corner SOS; 100m radios",
     )
     write_result("e3_disaster", table)
+    world, profiler = run_ma_trial(DENSITIES[0], seed=300, observe=True)
+    write_report(
+        "e3_disaster", world, profiler,
+        params={"nodes": DENSITIES[0], "ttl": TTL, "paradigm": "ma"},
+    )
 
     total_ma = sum(row[2] for row in rows)
     total_cs = sum(row[1] for row in rows)

@@ -17,7 +17,7 @@ from repro.apps import make_vendor, shop_interactively, shop_with_agent
 from repro.core import World, mutual_trust, standard_host
 from repro.net import DIALUP, GPRS, LAN, Position
 
-from _common import once, run_process, write_result
+from _common import instrument, once, run_process, write_report, write_result
 
 VENDOR_COUNTS = [2, 5, 8]
 
@@ -39,8 +39,9 @@ def build(tech, vendor_count, seed):
     return world, handset, [vendor.id for vendor in vendors]
 
 
-def run_session(tech, vendor_count, strategy, seed=404):
+def run_session(tech, vendor_count, strategy, seed=404, observe=False):
     world, handset, vendor_ids = build(tech, vendor_count, seed)
+    profiler = instrument(world) if observe else None
 
     def go():
         setup = handset.node.interface(tech.name).attach()
@@ -57,6 +58,8 @@ def run_session(tech, vendor_count, strategy, seed=404):
         handset.node.interface(tech.name).detach()
 
     run_process(world, go())
+    if observe:
+        return world, profiler
     costs = handset.node.costs
     connected = sum(costs.connected_seconds.values())
     return costs.wireless_bytes(), connected, costs.money
@@ -104,6 +107,11 @@ def test_e4_shopping(benchmark):
         note="5 catalogue pages per shop browsed; agent hops ride the fixed network",
     )
     write_result("e4_shopping", table)
+    world, profiler = run_session(GPRS, 2, "agent", observe=True)
+    write_report(
+        "e4_shopping", world, profiler,
+        params={"link": "gprs", "shops": 2, "strategy": "agent"},
+    )
 
     for row in rows:
         _link, _k, browse_bytes, agent_bytes = row[0], row[1], row[2], row[3]

@@ -16,7 +16,7 @@ from repro.apps import run_local, run_offloaded
 from repro.core import World, mutual_trust, standard_host
 from repro.net import GPRS, LAN, Position, WIFI_ADHOC
 
-from _common import once, run_process, write_result
+from _common import instrument, once, run_process, write_report, write_result
 
 WORK_SIZES = [5_000, 50_000, 200_000, 1_000_000, 5_000_000, 20_000_000, 80_000_000]
 DEVICE_SPEED = 0.1
@@ -47,8 +47,9 @@ def build(link_name):
     return world, device, server
 
 
-def measure(link_name, work, where):
+def measure(link_name, work, where, observe=False):
     world, device, server = build(link_name)
+    profiler = instrument(world) if observe else None
 
     def go():
         if where == "local":
@@ -58,6 +59,8 @@ def measure(link_name, work, where):
         return report
 
     report = run_process(world, go())
+    if observe:
+        return world, profiler
     return report.elapsed_s
 
 
@@ -93,6 +96,11 @@ def test_e5_offload(benchmark):
         for name, value in crossovers.items()
     )
     write_result("e5_offload", table + "\n" + summary)
+    world, profiler = measure("wifi", WORK_SIZES[3], "offload", observe=True)
+    write_report(
+        "e5_offload", world, profiler,
+        params={"link": "wifi", "work": WORK_SIZES[3], "where": "offload"},
+    )
 
     for link_name, (local_points, remote_points) in curves.items():
         # Local wins the smallest task; REV wins the biggest.

@@ -25,7 +25,7 @@ from repro.core import (
 from repro.errors import ServiceNotFound
 from repro.net import GPRS, LAN, Position, WIFI_ADHOC
 
-from _common import once, run_process, write_result
+from _common import instrument, once, run_process, write_report, write_result
 
 AVAILABILITIES = [0.0, 0.25, 0.5, 0.75, 1.0]
 QUERIES = 20
@@ -56,8 +56,9 @@ def build(seed):
     return world, lus, provider, client
 
 
-def run_cell(availability, seed=606):
+def run_cell(availability, seed=606, observe=False):
     world, lus, provider, client = build(seed)
+    profiler = instrument(world) if observe else None
     rng = world.streams.stream("e6.availability")
     outcomes = {"central_ok": 0, "decentral_ok": 0}
     latencies = {"central": [], "decentral": []}
@@ -89,6 +90,8 @@ def run_cell(availability, seed=606):
             yield world.env.timeout(5.0)
 
     run_process(world, go())
+    if observe:
+        return world, profiler
     return (
         outcomes["central_ok"] / QUERIES,
         outcomes["decentral_ok"] / QUERIES,
@@ -128,6 +131,11 @@ def test_e6_discovery(benchmark):
         note=f"{QUERIES} queries per cell; provider always in ad-hoc range",
     )
     write_result("e6_discovery", table)
+    world, profiler = run_cell(0.5, observe=True)
+    write_report(
+        "e6_discovery", world, profiler,
+        params={"availability": 0.5, "queries": QUERIES},
+    )
 
     for row in rows:
         availability, central_ok, decentral_ok = row[0], row[1], row[2]

@@ -20,7 +20,7 @@ from repro.net.network import _backbone_link, _direct_link
 from repro.sim import RandomStreams
 from repro.workloads import mixed_tasks
 
-from _common import once, write_result
+from _common import once, write_report_data, write_result
 
 TASKS = 60
 CONTEXTS = [
@@ -84,6 +84,15 @@ def test_e7_adaptive(benchmark):
         note="composite = time + money (equal weights); estimators validated by E1",
     )
     write_result("e7_adaptive", table)
+    metrics = {}
+    for row in rows:
+        context = str(row[0]).replace("-", "_")
+        for column, paradigm in enumerate(("cs", "rev", "cod", "ma"), 1):
+            metrics[f"e7.{context}.fixed_{paradigm}"] = row[column]
+        metrics[f"e7.{context}.adaptive"] = row[5]
+    write_report_data(
+        "e7_adaptive", metrics=metrics, params={"tasks": TASKS}
+    )
 
     for row in rows:
         fixed = row[1:5]

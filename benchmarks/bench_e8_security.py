@@ -27,7 +27,7 @@ from repro.security import (
     sign_capsule,
 )
 
-from _common import once, run_process, write_result
+from _common import instrument, once, run_process, write_report, write_result
 
 SIZES = [1_000, 10_000, 100_000, 1_000_000]
 
@@ -40,8 +40,9 @@ def make_capsule(size):
     return build_capsule("bench", "cod-reply", ["blob"], repository.resolve)
 
 
-def cod_latency(size, signed):
+def cod_latency(size, signed, observe=False):
     world = World(seed=808)
+    profiler = instrument(world) if observe else None
     world.transport._rng.random = lambda: 0.999
     policy_kwargs = {} if signed else {"policy": OPEN_POLICY}
     phone = standard_host(
@@ -64,6 +65,8 @@ def cod_latency(size, signed):
         )
 
     run_process(world, go())
+    if observe:
+        return world, profiler
     return world.now
 
 
@@ -149,6 +152,11 @@ def test_e8_security(benchmark):
         note="reference-speed signer; 0.2x-speed verifier inflates measured overhead",
     )
     write_result("e8_security", table)
+    world, profiler = cod_latency(SIZES[1], signed=True, observe=True)
+    write_report(
+        "e8_security", world, profiler,
+        params={"capsule_bytes": SIZES[1], "signed": True},
+    )
 
     rejected = run_functional_checks()
     assert rejected["tampered"], "tampered capsule must be rejected"

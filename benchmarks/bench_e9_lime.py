@@ -20,7 +20,7 @@ from repro.lmu import code_unit
 from repro.net import Position, WIFI_ADHOC
 from repro.tuplespace import ANY, LimeSpace
 
-from _common import once, run_process, write_result
+from _common import instrument, once, run_process, write_report, write_result
 
 READING_COUNTS = [10, 50, 200, 500]
 SENSORS = 3
@@ -96,8 +96,9 @@ def aggregation_unit():
     return code_unit("aggregate", "1.0.0", factory, 8_000)
 
 
-def run_rev(count):
+def run_rev(count, observe=False):
     world, consumer, sensors = build()
+    profiler = instrument(world) if observe else None
     fill_readings(world, sensors, count)
     # Expose each sensor's lime space to REV guests.
     for sensor in sensors:
@@ -124,6 +125,8 @@ def run_rev(count):
 
     means = run_process(world, go())
     assert len(means) == SENSORS
+    if observe:
+        return world, profiler
     return consumer.node.costs.total_bytes - base, world.now
 
 
@@ -149,6 +152,11 @@ def test_e9_lime(benchmark):
         note="~100B tuples; REV ships an 8kB aggregation unit per host",
     )
     write_result("e9_lime", table)
+    world, profiler = run_rev(READING_COUNTS[0], observe=True)
+    write_report(
+        "e9_lime", world, profiler,
+        params={"readings": READING_COUNTS[0], "sensors": SENSORS},
+    )
 
     # Lime grows ~linearly with R; REV stays flat.
     assert lime_series[-1][1] > 10 * lime_series[0][1]

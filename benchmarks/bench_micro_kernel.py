@@ -10,9 +10,16 @@ scale claim of the reproduction).
 
 from __future__ import annotations
 
+from bisect import insort
+from time import perf_counter
+
 from repro.core import Agent, World, mutual_trust, standard_host
 from repro.net import Message, Position, WIFI_ADHOC
+from repro.obs import SpanTracer
 from repro.sim import Environment
+from repro.sim.metrics import Histogram
+
+from _common import instrument, write_report
 
 
 def test_kernel_event_throughput(benchmark):
@@ -123,3 +130,106 @@ def test_agent_migration_rate(benchmark):
 
     migrations = benchmark(run_agent)
     assert migrations == 50
+
+
+def test_histogram_observe_scaling(benchmark):
+    """Append-only observe must beat insort-per-observe >=10x at 100k.
+
+    Guards the O(1) Histogram.observe: the old implementation kept the
+    sample list sorted with ``insort`` on every observation, which is
+    O(n) per sample and quadratic over a run.
+    """
+    count = 100_000
+    # Deterministic pseudo-random values (Knuth multiplicative hash).
+    values = [((i * 2654435761) % 1000003) / 1000.0 for i in range(count)]
+
+    def lazy():
+        histogram = Histogram("bench")
+        for value in values:
+            histogram.observe(value)
+        return histogram.quantile(0.95)
+
+    def insort_reference():
+        ordered = []
+        for value in values:
+            insort(ordered, value)
+        return ordered[int(0.95 * (len(ordered) - 1))]
+
+    started = perf_counter()
+    lazy()
+    lazy_seconds = perf_counter() - started
+    started = perf_counter()
+    insort_reference()
+    insort_seconds = perf_counter() - started
+    speedup = insort_seconds / lazy_seconds
+    print(f"\nhistogram observe: lazy {lazy_seconds:.3f}s vs "
+          f"insort {insort_seconds:.3f}s ({speedup:.1f}x)")
+    assert speedup >= 10.0, f"lazy histogram only {speedup:.1f}x faster"
+    benchmark(lazy)
+
+
+def test_disabled_tracing_overhead(benchmark):
+    """Disabled spans must cost <5% of kernel event processing.
+
+    Times 100k start/finish pairs on a disabled tracer against 10k
+    kernel timeout events (the event-throughput workload above, which
+    runs with tracing off).  A lenient 2x margin on the 5% target keeps
+    the guard flake-resistant on loaded machines.
+    """
+    tracer = SpanTracer(now=lambda: 0.0, enabled=False)
+
+    def disabled_spans():
+        for _ in range(100_000):
+            span = tracer.start("bench", "micro")
+            tracer.finish(span)
+
+    def kernel_events():
+        env = Environment()
+
+        def ticker(env):
+            for _ in range(10_000):
+                yield env.timeout(1.0)
+
+        env.process(ticker(env))
+        env.run()
+
+    started = perf_counter()
+    disabled_spans()
+    span_seconds = perf_counter() - started
+    started = perf_counter()
+    kernel_events()
+    kernel_seconds = perf_counter() - started
+    # Per-operation: one disabled span pair vs one kernel event.
+    per_span = span_seconds / 100_000
+    per_event = kernel_seconds / 10_000
+    ratio = per_span / per_event
+    print(f"\ndisabled span pair {per_span * 1e9:.0f}ns vs kernel event "
+          f"{per_event * 1e9:.0f}ns ({ratio * 100:.1f}%)")
+    assert ratio < 0.10, f"disabled tracing costs {ratio * 100:.1f}% per event"
+    benchmark(disabled_spans)
+
+
+def test_micro_report(benchmark):
+    """The CS round-trip workload, instrumented, as a run report."""
+
+    def run_instrumented():
+        world, a, b = _message_world()
+        profiler = instrument(world)
+        b.register_service("echo", lambda args, host: (args, 32))
+
+        def go():
+            for index in range(50):
+                yield from a.component("cs").call("b", "echo", index)
+
+        process = world.env.process(go())
+        world.run(until=process)
+        world.run(until=world.now + 60.0)
+        return world, profiler
+
+    world, profiler = benchmark.pedantic(
+        run_instrumented, rounds=1, iterations=1
+    )
+    write_report(
+        "micro_kernel", world, profiler, params={"workload": "cs-roundtrips"}
+    )
+    assert world.metrics.counter("cs.served").value == 50

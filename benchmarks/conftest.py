@@ -1,0 +1,26 @@
+"""Benchmark-suite options.
+
+``--quick`` shrinks every sweep to a smoke-test size (CI uses this to
+verify the benches still run and emit parseable JSON reports without
+paying for the full parameter grids).  It works by setting the
+``REPRO_QUICK`` environment variable, which ``_common.quick()`` reads,
+so plain ``REPRO_QUICK=1 pytest benchmarks`` behaves identically.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="shrink benchmark sweeps to smoke-test size",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--quick", default=False):
+        os.environ["REPRO_QUICK"] = "1"

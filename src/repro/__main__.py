@@ -5,7 +5,9 @@ Commands:
 * ``info``    — version, subsystems, and experiment inventory;
 * ``demo``    — run the quickstart scenario inline (all four paradigms);
 * ``assess``  — print a design-time paradigm assessment for a task
-  described by flags.
+  described by flags;
+* ``report``  — render a machine-readable run report (the JSON files
+  the benchmarks write under ``benchmarks/results/``).
 """
 
 from __future__ import annotations
@@ -67,6 +69,78 @@ def _cmd_assess(args: argparse.Namespace) -> int:
     return 0
 
 
+def _report_search_dirs():
+    import os
+
+    here = os.path.dirname(__file__)
+    return [
+        os.path.join("benchmarks", "results"),
+        os.path.join(
+            here, os.pardir, os.pardir, "benchmarks", "results"
+        ),
+    ]
+
+
+def _find_report(name: str):
+    """Resolve ``name`` to a report path: a file, or ``<name>.json``
+    under benchmarks/results/ (cwd-relative or package-relative)."""
+    import os
+
+    if os.path.isfile(name):
+        return name
+    for directory in _report_search_dirs():
+        for candidate in (
+            os.path.join(directory, name),
+            os.path.join(directory, f"{name}.json"),
+        ):
+            if os.path.isfile(candidate):
+                return candidate
+    return None
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import glob
+    import json
+    import os
+
+    from repro.obs import RunReport
+
+    if args.name is None:
+        found = []
+        for directory in _report_search_dirs():
+            found.extend(sorted(glob.glob(os.path.join(directory, "*.json"))))
+            if found:
+                break
+        if not found:
+            print(
+                "no run reports found under benchmarks/results/ "
+                "(run a benchmark first: pytest benchmarks --quick)"
+            )
+            return 1
+        print(f"{len(found)} run report(s):\n")
+        for path in found:
+            try:
+                report = RunReport.load(path)
+            except (json.JSONDecodeError, KeyError, ValueError) as error:
+                print(f"  {os.path.basename(path)}  [unreadable: {error}]")
+                continue
+            spans = len(report.spans)
+            metrics = len(report.metrics)
+            print(
+                f"  {report.name:32s} sim_time={report.env.get('sim_time')} "
+                f"metrics={metrics} spans={spans}"
+            )
+        print("\nrender one with: python -m repro report <name>")
+        return 0
+    path = _find_report(args.name)
+    if path is None:
+        print(f"no report named {args.name!r} under benchmarks/results/")
+        return 1
+    report = RunReport.load(path)
+    print(report.render(top=args.top))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -93,6 +167,23 @@ def build_parser() -> argparse.ArgumentParser:
     assess_cmd.add_argument("--time-weight", type=float, default=1.0)
     assess_cmd.add_argument("--money-weight", type=float, default=1.0)
     assess_cmd.set_defaults(handler=_cmd_assess)
+
+    report_cmd = subparsers.add_parser(
+        "report", help="render a machine-readable run report"
+    )
+    report_cmd.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        help="report name or path (omit to list all available reports)",
+    )
+    report_cmd.add_argument(
+        "--top",
+        type=int,
+        default=20,
+        help="rows per table in the rendered report",
+    )
+    report_cmd.set_defaults(handler=_cmd_report)
     return parser
 
 
@@ -102,7 +193,12 @@ def main(argv=None) -> int:
     if not getattr(args, "handler", None):
         parser.print_help()
         return 2
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        sys.stderr.close()
+        return 0
 
 
 if __name__ == "__main__":

@@ -334,7 +334,13 @@ class AgentRuntime(Component):
 
     # -- migration ---------------------------------------------------------------------
 
-    def _transfer(self, agent: Agent, state: Dict[str, object], target_id: str) -> Generator:
+    def _transfer(
+        self,
+        agent: Agent,
+        state: Dict[str, object],
+        target_id: str,
+        parent: object = None,
+    ) -> Generator:
         """Ship ``state`` under ``agent``'s code to ``target_id``.
 
         Shared by migration and cloning.  Raises
@@ -363,7 +369,7 @@ class AgentRuntime(Component):
         )
         try:
             reply = yield from host.request(
-                message, timeout=self.migration_timeout
+                message, timeout=self.migration_timeout, parent=parent
             )
         except (Unreachable, TransportTimeout, RequestTimeout) as error:
             raise MigrationError(
@@ -379,10 +385,24 @@ class AgentRuntime(Component):
 
     def _migrate(self, agent: Agent, target_id: str) -> Generator:
         host = self.require_host()
+        tracer = host.world.tracer
+        span = tracer.start(
+            "agent.migrate", host.id, agent=agent.agent_id, to=target_id
+        )
+        started = self.env.now
         state = dict(agent.state)
         state["hops"] = int(state.get("hops", 0)) + 1
-        yield from self._transfer(agent, state, target_id)
+        try:
+            yield from self._transfer(agent, state, target_id, parent=span)
+        except MigrationError:
+            host.world.metrics.counter("agents.migration_failures").increment()
+            tracer.finish(span, status="error", error="MigrationError")
+            raise
         host.world.metrics.counter("agents.migrations").increment()
+        host.world.metrics.histogram("agents.migration_seconds").observe(
+            self.env.now - started
+        )
+        tracer.finish(span)
         agent.state = state  # committed: the shipped state is canonical
 
     def _clone(self, agent: Agent, target_id: str) -> Generator:

@@ -62,6 +62,11 @@ class CodeOnDemand(Component):
         :class:`UnitNotFound` when the provider cannot supply a root.
         """
         host = self.require_host()
+        tracer = host.world.tracer
+        span = tracer.start(
+            "cod.fetch", host.id, roots=",".join(roots), provider=provider_id
+        )
+        started = self.env.now
         inventory = {
             name: str(version)
             for name, version in host.codebase.inventory().items()
@@ -74,8 +79,15 @@ class CodeOnDemand(Component):
             size_bytes=estimate_size(list(roots)) + estimate_size(inventory),
         )
         host.world.metrics.counter("cod.fetches").increment()
-        reply = yield from host.request(message, timeout=timeout)
+        try:
+            reply = yield from host.request(
+                message, timeout=timeout, parent=span
+            )
+        except BaseException as error:
+            tracer.finish(span, status="error", error=type(error).__name__)
+            raise
         if reply.kind == KIND_ERROR:
+            tracer.finish(span, status="error", error="UnitNotFound")
             raise UnitNotFound(
                 f"provider {provider_id} cannot supply {list(roots)}: "
                 f"{(reply.payload or {}).get('error', '')}"
@@ -85,8 +97,12 @@ class CodeOnDemand(Component):
         host.world.metrics.counter("cod.bytes_fetched").increment(
             capsule.size_bytes
         )
+        host.world.metrics.histogram("cod.fetch_seconds").observe(
+            self.env.now - started
+        )
         if install:
             install_capsule(capsule, host.codebase, pinned=pinned)
+        tracer.finish(span, bytes=capsule.size_bytes)
         return capsule
 
     def ensure(

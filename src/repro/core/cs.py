@@ -46,6 +46,7 @@ class ClientServer(Component):
         :class:`RemoteExecutionError` when the service handler failed.
         """
         host = self.require_host()
+        tracer = host.world.tracer
         message = Message(
             source=host.id,
             destination=server_id,
@@ -56,15 +57,33 @@ class ClientServer(Component):
             ),
         )
         host.world.metrics.counter("cs.calls").increment()
-        reply = yield from host.request(message, timeout=timeout)
+        span = tracer.start(
+            "cs.call", host.id, service=service, server=server_id
+        )
+        started = self.env.now
+        try:
+            reply = yield from host.request(
+                message, timeout=timeout, parent=span
+            )
+        except BaseException as error:
+            tracer.finish(span, status="error", error=type(error).__name__)
+            raise
+        host.world.metrics.histogram("cs.call_seconds").observe(
+            self.env.now - started
+        )
         if reply.kind == KIND_ERROR:
             details = reply.payload or {}
+            tracer.finish(
+                span, status="error",
+                error=str(details.get("error_type", "error")),
+            )
             if details.get("error_type") == "ServiceNotFound":
                 raise ServiceNotFound(details.get("error", service))
             raise RemoteExecutionError(
                 f"service {service!r} on {server_id} failed",
                 remote_error=str(details.get("error", "")),
             )
+        tracer.finish(span)
         return reply.payload
 
     # -- server side ----------------------------------------------------------------

@@ -93,6 +93,7 @@ class Discovery(Component):
         if repeats < 1:
             raise ValueError("repeats must be >= 1")
         host = self.require_host()
+        tracer = host.world.tracer
         if use_cache:
             cached = self._cache_lookup(service_type, attributes)
             if cached:
@@ -102,6 +103,10 @@ class Discovery(Component):
                     if description.matches(service_type, attributes):
                         cached.append(description)
                 return list({d.key: d for d in cached}.values())
+        span = tracer.start(
+            "disc.find", host.id, service_type=service_type, repeats=repeats
+        )
+        started = self.env.now
         query_id = next(_query_ids)
         self._open_queries[query_id] = []
         host.world.metrics.counter("disc.queries").increment()
@@ -128,6 +133,11 @@ class Discovery(Component):
         unique = list({d.key: d for d in found}.values())
         if unique:
             host.world.metrics.counter("disc.found").increment()
+        host.world.metrics.histogram("disc.find_seconds").observe(
+            self.env.now - started
+        )
+        host.world.metrics.gauge("disc.cache_size").set(len(self.cache))
+        tracer.finish(span, found=len(unique))
         return unique
 
     def _cache_lookup(

@@ -64,7 +64,7 @@ class MobileHost:
             quota_bytes=quota_bytes, now=lambda: self.env.now
         )
         self.truststore = TrustStore()
-        self.sandbox = Sandbox(node.id)
+        self.sandbox = Sandbox(node.id, metrics=world.metrics)
         self.keypair = keypair or KeyPair.generate(
             node.id, world.streams.stream(f"keys.{node.id}")
         )
@@ -159,7 +159,7 @@ class MobileHost:
         return self.world.transport.send(message)
 
     def request(
-        self, message: Message, timeout: float = 30.0
+        self, message: Message, timeout: float = 30.0, parent: object = None
     ) -> Generator:
         """Send ``message`` and wait for its reply (generator helper).
 
@@ -168,19 +168,41 @@ class MobileHost:
         :class:`~repro.errors.TransportTimeout` when the request cannot
         be delivered, and :class:`~repro.errors.RequestTimeout` when no
         reply arrives within ``timeout``.
+
+        ``parent`` (a span or span context) makes the exchange a child
+        of the caller's span; the request's span context travels inside
+        the message so the remote side joins the same trace.
         """
+        tracer = self.world.tracer
+        span = tracer.start(
+            "host.request",
+            self.id,
+            parent=parent if parent is not None else message.trace_context,
+            msg=message.kind,
+            to=message.destination,
+        )
+        if message.trace_context is None:
+            message.trace_context = tracer.context(span)
+        started = self.env.now
         reply_event = self.env.event()
         self._pending[message.id] = reply_event
         try:
             yield self.send(message)
-        except (Unreachable, TransportTimeout):
+        except (Unreachable, TransportTimeout) as error:
             self._pending.pop(message.id, None)
+            tracer.finish(span, status="error", error=type(error).__name__)
             raise
         timeout_event = self.env.timeout(timeout)
         fired = yield self.env.any_of([reply_event, timeout_event])
         self._pending.pop(message.id, None)
         if reply_event in fired:
+            self.world.metrics.histogram("host.request_rtt").observe(
+                self.env.now - started
+            )
+            tracer.finish(span)
             return reply_event.value
+        self.world.metrics.counter("host.request_timeouts").increment()
+        tracer.finish(span, status="error", error="RequestTimeout")
         raise RequestTimeout(
             f"{self.id}: no reply to {message.kind} #{message.id} from "
             f"{message.destination} within {timeout}s"
@@ -237,6 +259,10 @@ class MobileHost:
         if self.policy.require_signatures:
             principal = verify_capsule(self.truststore, capsule)
             delay = capsule_verification_delay(capsule)
+            self.world.metrics.counter("security.verifications").increment()
+            self.world.metrics.histogram("security.verify_seconds").observe(
+                delay
+            )
             yield from self.execute(
                 delay * WORK_UNITS_PER_SECOND
             )
@@ -262,21 +288,33 @@ class MobileHost:
             handler = self._handlers.get(message.kind)
             if handler is None:
                 self.unhandled_messages += 1
+                self.world.metrics.counter("host.unhandled").increment()
                 self.world.trace.emit(
                     self.env.now, self.id, "host.unhandled", msg=message.kind
                 )
                 continue
+            span = self.world.tracer.start(
+                "host.handle",
+                self.id,
+                parent=message.trace_context,
+                msg=message.kind,
+                origin=message.source,
+            )
             self.env.process(
-                self._guarded(handler, message),
+                self._guarded(handler, message, span),
                 name=f"{self.id}:{message.kind}#{message.id}",
             )
 
-    def _guarded(self, handler: MessageHandler, message: Message) -> Generator:
+    def _guarded(
+        self, handler: MessageHandler, message: Message, span: object = None
+    ) -> Generator:
         """Run a handler, containing its failures (they are traced)."""
+        tracer = self.world.tracer
         try:
             yield from handler(message)
         except SecurityError as error:
             self.rejected_capsules += 1
+            self.world.metrics.counter("security.rejections").increment()
             self.world.trace.emit(
                 self.env.now,
                 self.id,
@@ -284,7 +322,10 @@ class MobileHost:
                 msg=message.kind,
                 error=str(error),
             )
+            if span is not None:
+                tracer.finish(span, status="error", error=str(error))
         except MiddlewareError as error:
+            self.world.metrics.counter("host.handler_errors").increment()
             self.world.trace.emit(
                 self.env.now,
                 self.id,
@@ -292,6 +333,8 @@ class MobileHost:
                 msg=message.kind,
                 error=str(error),
             )
+            if span is not None:
+                tracer.finish(span, status="error", error=str(error))
         except (Unreachable, TransportTimeout) as error:
             self.world.trace.emit(
                 self.env.now,
@@ -300,3 +343,8 @@ class MobileHost:
                 msg=message.kind,
                 error=str(error),
             )
+            if span is not None:
+                tracer.finish(span, status="error", error=str(error))
+        else:
+            if span is not None:
+                tracer.finish(span)

@@ -61,6 +61,11 @@ class RemoteEvaluation(Component):
                 )
             return unit
 
+        tracer = host.world.tracer
+        span = tracer.start(
+            "rev.evaluate", host.id, root=str(roots[0]), target=target_id
+        )
+        started = self.env.now
         capsule = build_capsule(
             sender=host.id,
             purpose="rev-request",
@@ -85,13 +90,27 @@ class RemoteEvaluation(Component):
             size_bytes=capsule.size_bytes,
         )
         host.world.metrics.counter("rev.requests").increment()
-        reply = yield from host.request(message, timeout=timeout)
+        host.world.metrics.counter("rev.bytes_shipped").increment(
+            capsule.size_bytes
+        )
+        try:
+            reply = yield from host.request(
+                message, timeout=timeout, parent=span
+            )
+        except BaseException as error:
+            tracer.finish(span, status="error", error=type(error).__name__)
+            raise
+        host.world.metrics.histogram("rev.roundtrip_seconds").observe(
+            self.env.now - started
+        )
         outcome = reply.payload or {}
         if not outcome.get("ok"):
+            tracer.finish(span, status="error", error="remote")
             raise RemoteExecutionError(
                 f"REV of {roots[0]} on {target_id} failed",
                 remote_error=str(outcome.get("error", "")),
             )
+        tracer.finish(span)
         return outcome.get("value")
 
     # -- server side ----------------------------------------------------------------

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
+from typing import Optional as _Optional
+
 from ..net import (
     Network,
     NetworkNode,
@@ -17,25 +19,45 @@ from ..net import (
     Transport,
     LinkTechnology,
 )
+from ..obs import SimProfiler, SpanTracer
 from ..sim import Environment, MetricsRegistry, RandomStreams, TraceLog
 
 
 class World:
     """One simulated deployment: kernel + network + shared observability."""
 
-    def __init__(self, seed: int = 0, trace_enabled: bool = False) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        trace_enabled: bool = False,
+        spans_enabled: _Optional[bool] = None,
+    ) -> None:
+        self.seed = seed
         self.env = Environment()
         self.streams = RandomStreams(seed)
         self.network = Network(self.env)
         self.trace = TraceLog(enabled=trace_enabled)
         self.metrics = MetricsRegistry()
+        #: Causal spans follow the trace switch unless set explicitly.
+        self.tracer = SpanTracer(
+            now=lambda: self.env.now,
+            trace=self.trace,
+            enabled=(
+                trace_enabled if spans_enabled is None else spans_enabled
+            ),
+        )
         self.transport = Transport(
             self.env,
             self.network,
             self.streams,
             trace=self.trace,
             metrics=self.metrics,
+            tracer=self.tracer,
         )
+
+    def profile(self) -> SimProfiler:
+        """Attach (and return) a fresh kernel profiler for this world."""
+        return SimProfiler().attach(self.env)
 
     @property
     def now(self) -> float:

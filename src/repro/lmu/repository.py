@@ -8,22 +8,33 @@ from "in an ad-hoc scenario".
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..errors import UnitNotFound
 from .units import CodeUnit, Requirement, Version
 
 
 class CodeRepository:
-    """A catalogue of code units, multiple versions per name."""
+    """A catalogue of code units, multiple versions per name.
 
-    def __init__(self, name: str = "repository") -> None:
+    ``metrics`` (a :class:`~repro.sim.metrics.MetricsRegistry`, or
+    None) receives ``repository.*`` counters and the catalogue-size
+    gauge so serving activity shows up in run reports.
+    """
+
+    def __init__(
+        self, name: str = "repository", metrics: Optional[Any] = None
+    ) -> None:
         self.name = name
+        self.metrics = metrics
         self._catalog: Dict[str, Dict[Version, CodeUnit]] = {}
 
     def publish(self, unit: CodeUnit) -> None:
         """Add (or replace) one unit version in the catalogue."""
         self._catalog.setdefault(unit.name, {})[unit.version] = unit
+        if self.metrics is not None:
+            self.metrics.counter("repository.publishes").increment()
+            self.metrics.gauge("repository.units").set(len(self._catalog))
 
     def publish_all(self, units: List[CodeUnit]) -> None:
         for unit in units:
@@ -71,6 +82,8 @@ class CodeRepository:
         """
         versions = self._catalog.get(requirement.name)
         if not versions:
+            if self.metrics is not None:
+                self.metrics.counter("repository.misses").increment()
             raise UnitNotFound(
                 f"repository has no unit {requirement.name!r}"
             )
@@ -81,10 +94,14 @@ class CodeRepository:
             or version.compatible_with(requirement.min_version)
         ]
         if not matching:
+            if self.metrics is not None:
+                self.metrics.counter("repository.misses").increment()
             raise UnitNotFound(
                 f"no published version of {requirement.name} satisfies "
                 f"{requirement}; have {sorted(map(str, versions))}"
             )
+        if self.metrics is not None:
+            self.metrics.counter("repository.resolutions").increment()
         return versions[max(matching)]
 
     def providers_of(self, capability: str) -> List[CodeUnit]:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, Optional
 
 _message_ids = itertools.count(1)
 
@@ -41,6 +41,10 @@ class Message:
     #: technology name the message actually travelled over (set on delivery).
     via: Optional[str] = None
     hops: int = 0
+    #: Causal span context (``{"trace": id, "span": id}``) propagated
+    #: across hosts, like distributed-tracing headers.  Observability
+    #: only: carries no modelled wire bytes.
+    trace_context: Optional[Dict[str, int]] = None
 
     @property
     def wire_size(self) -> int:
@@ -48,7 +52,11 @@ class Message:
         return self.size_bytes + HEADER_BYTES
 
     def reply(self, kind: str, payload: object = None, size_bytes: int = 0) -> "Message":
-        """A response message addressed back to this message's source."""
+        """A response message addressed back to this message's source.
+
+        The reply joins the request's trace, so both legs of an RPC
+        land in one span tree.
+        """
         return Message(
             source=self.destination,
             destination=self.source,
@@ -56,6 +64,9 @@ class Message:
             payload=payload,
             size_bytes=size_bytes,
             in_reply_to=self.id,
+            trace_context=(
+                dict(self.trace_context) if self.trace_context else None
+            ),
         )
 
     def __repr__(self) -> str:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Generator, List, Optional, Set
 
-from ..sim import Environment
+from ..sim import Environment, MetricsRegistry, TraceLog
 from .network import Network
 from .node import NetworkNode
 from .technologies import LinkTechnology
@@ -29,6 +29,8 @@ class ConnectivityMonitor:
         node: NetworkNode,
         interval: float = 1.0,
         technology: Optional[LinkTechnology] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        trace: Optional[TraceLog] = None,
     ) -> None:
         if interval <= 0:
             raise ValueError("interval must be positive")
@@ -37,6 +39,8 @@ class ConnectivityMonitor:
         self.node = node
         self.interval = interval
         self.technology = technology
+        self.metrics = metrics
+        self.trace = trace
         self.current: Set[str] = set()
         self._listeners: List[NeighborListener] = []
         self._process = env.process(self._scan_loop(), name=f"monitor:{node.id}")
@@ -63,6 +67,27 @@ class ConnectivityMonitor:
         appeared = fresh - self.current
         disappeared = self.current - fresh
         self.current = fresh
+        if self.metrics is not None:
+            # Fleet-wide churn counters + a neighbour-count gauge whose
+            # min/max bracket the density the run actually saw.
+            if appeared:
+                self.metrics.counter("monitor.appearances").increment(
+                    len(appeared)
+                )
+            if disappeared:
+                self.metrics.counter("monitor.disappearances").increment(
+                    len(disappeared)
+                )
+            self.metrics.gauge("monitor.neighbors").set(float(len(fresh)))
+        if self.trace is not None and (appeared or disappeared):
+            self.trace.emit(
+                self.env.now,
+                self.node.id,
+                "monitor.churn",
+                appeared=sorted(appeared),
+                disappeared=sorted(disappeared),
+                neighbors=len(fresh),
+            )
         for peer_id in sorted(appeared):
             self._notify(peer_id, True)
         for peer_id in sorted(disappeared):

@@ -113,12 +113,15 @@ class ConnectivityRecorder:
         network: Network,
         node: NetworkNode,
         interval: float = 1.0,
+        metrics=None,
+        trace=None,
     ) -> None:
         self.node = node
         self.events: List[Tuple[float, str, str, str]] = []
         self._env = env
         self._monitor = ConnectivityMonitor(
-            env, network, node, interval=interval
+            env, network, node, interval=interval, metrics=metrics,
+            trace=trace,
         )
         self._monitor.subscribe(self._on_change)
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Generator, List, Optional
 
 from ..errors import MessageTooLarge, NetworkError, TransportTimeout, Unreachable
+from ..obs import SpanTracer
 from ..sim import Environment, MetricsRegistry, Process, RandomStreams, TraceLog
 from .message import Message
 from .network import Link, LinkPolicy, Network, prefer_free_then_fast
@@ -34,11 +35,17 @@ class Transport:
         trace: Optional[TraceLog] = None,
         metrics: Optional[MetricsRegistry] = None,
         policy: LinkPolicy = prefer_free_then_fast,
+        tracer: Optional[SpanTracer] = None,
     ) -> None:
         self.env = env
         self.network = network
         self.trace = trace if trace is not None else TraceLog(enabled=False)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = (
+            tracer
+            if tracer is not None
+            else SpanTracer(now=lambda: env.now, enabled=False)
+        )
         self.policy = policy
         self._rng = streams.stream("transport.loss")
 
@@ -126,6 +133,15 @@ class Transport:
         link: Link,
     ) -> Generator:
         """Run one transfer attempt over ``link``; returns delivery bool."""
+        span = self.tracer.start(
+            "net.transmit",
+            source.id,
+            parent=message.trace_context,
+            msg=message.kind,
+            to=destination.id,
+            bytes=message.wire_size,
+            via=link.name,
+        )
         interface = source.interface(link.sender_technology.name)
         with interface.channel.request() as claim:
             yield claim
@@ -152,6 +168,11 @@ class Transport:
                 msg=message.kind,
                 reason="loss" if lost else "disconnected",
             )
+            self.tracer.finish(
+                span,
+                status="lost",
+                reason="loss" if lost else "disconnected",
+            )
             return False
         destination.costs.account_transfer(
             link.receiver_technology, message.wire_size, sent=False
@@ -171,6 +192,7 @@ class Transport:
             via=link.name,
             bytes=message.wire_size,
         )
+        self.tracer.finish(span)
         yield destination.inbox.put(message)
         return True
 
@@ -210,6 +232,9 @@ class Transport:
                 )
             source.costs.account_transfer(link.sender_technology, ACK_BYTES, sent=False)
             if delivered:
+                self.metrics.histogram("net.attempts_used").observe(
+                    float(attempt)
+                )
                 return attempt
             if attempt < max_attempts:
                 self.metrics.counter("net.retransmissions").increment()
@@ -228,6 +253,9 @@ class Transport:
     ) -> Generator:
         if not source.up:
             raise NetworkError(f"sender {source.id} is down")
+        span = self.tracer.start(
+            "net.broadcast", source.id, msg=kind, bytes=size_bytes
+        )
         neighbors = self.network.neighbors(source, technology=technology)
         # The radio transmits once whether or not anyone listens.
         techs: List[LinkTechnology] = []
@@ -276,6 +304,10 @@ class Transport:
                 neighbor.costs.account_transfer(tech, wire, sent=False)
                 yield neighbor.inbox.put(message)
                 received.append(neighbor.id)
+        self.metrics.counter("net.broadcasts").increment()
+        self.metrics.histogram("net.broadcast_reach").observe(
+            float(len(received))
+        )
         self.trace.emit(
             self.env.now,
             source.id,
@@ -283,4 +315,5 @@ class Transport:
             msg=kind,
             heard_by=len(received),
         )
+        self.tracer.finish(span, heard_by=len(received))
         return received

@@ -1,0 +1,61 @@
+"""Cross-cutting observability: spans, profiling, exporters, reports.
+
+The middleware's claims are *measured* claims, so measurement is a
+first-class subsystem:
+
+* :mod:`repro.obs.spans`     — causal span trees across hosts
+  (:class:`Span`, :class:`SpanTracer`), propagated inside messages;
+* :mod:`repro.obs.profiler`  — :class:`SimProfiler`, wall-clock and
+  event-count attribution for the simulation kernel;
+* :mod:`repro.obs.exporters` — JSONL trace/span dumps and
+  Prometheus-style metric text;
+* :mod:`repro.obs.report`    — :class:`RunReport`, the versioned JSON
+  document every benchmark writes to ``benchmarks/results/``.
+
+See ``docs/OBSERVABILITY.md`` for the span model and the
+``subsystem.metric`` naming scheme.
+"""
+
+from .exporters import (
+    metrics_to_prometheus,
+    parse_prometheus,
+    sanitize_metric_name,
+    spans_from_jsonl,
+    spans_to_jsonl,
+    trace_from_jsonl,
+    trace_to_jsonl,
+    write_text,
+)
+from .profiler import SimProfiler
+from .report import RunReport, SCHEMA_KEYS, SCHEMA_VERSION
+from .spans import (
+    NOOP_SPAN,
+    STATUS_ERROR,
+    STATUS_OK,
+    Span,
+    SpanTracer,
+    SpanTree,
+    build_trees,
+)
+
+__all__ = [
+    "NOOP_SPAN",
+    "RunReport",
+    "SCHEMA_KEYS",
+    "SCHEMA_VERSION",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "SimProfiler",
+    "Span",
+    "SpanTracer",
+    "SpanTree",
+    "build_trees",
+    "metrics_to_prometheus",
+    "parse_prometheus",
+    "sanitize_metric_name",
+    "spans_from_jsonl",
+    "spans_to_jsonl",
+    "trace_from_jsonl",
+    "trace_to_jsonl",
+    "write_text",
+]

@@ -1,0 +1,188 @@
+"""Exporters: traces, spans, and metrics in machine-readable formats.
+
+Three formats cover the usual consumers:
+
+* **JSONL** — one JSON object per line, for traces and spans; the
+  format jq/pandas ingest directly and the round-trip parsers here
+  read back;
+* **Prometheus text** — the registry as ``# TYPE``-annotated sample
+  lines (metric names sanitised ``a.b-c`` → ``a_b_c``), so a scrape of
+  a long-running simulation drops into existing dashboards;
+* helpers to write either next to an experiment's other outputs.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, Iterable, List
+
+from ..sim.metrics import MetricsRegistry
+from ..sim.tracing import TraceLog, TraceRecord
+from .spans import Span
+
+
+def _jsonable(value: object) -> object:
+    """Best-effort conversion of trace field values to JSON types."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    return repr(value)
+
+
+# -- traces -------------------------------------------------------------------
+
+
+def trace_to_jsonl(trace: TraceLog) -> str:
+    """Every retained trace record as one JSON object per line."""
+    lines = []
+    for record in trace:
+        lines.append(
+            json.dumps(
+                {
+                    "time": record.time,
+                    "source": record.source,
+                    "kind": record.kind,
+                    "fields": _jsonable(record.fields),
+                },
+                sort_keys=True,
+            )
+        )
+    return "\n".join(lines)
+
+
+def trace_from_jsonl(text: str) -> List[TraceRecord]:
+    """Parse :func:`trace_to_jsonl` output back into records."""
+    records = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        data = json.loads(line)
+        records.append(
+            TraceRecord(
+                time=float(data["time"]),
+                source=str(data["source"]),
+                kind=str(data["kind"]),
+                fields=dict(data.get("fields") or {}),
+            )
+        )
+    return records
+
+
+# -- spans --------------------------------------------------------------------
+
+
+def spans_to_jsonl(spans: Iterable[Span]) -> str:
+    """Spans as one JSON object per line (see :meth:`Span.to_dict`)."""
+    return "\n".join(
+        json.dumps(_jsonable(span.to_dict()), sort_keys=True)
+        for span in spans
+    )
+
+
+def spans_from_jsonl(text: str) -> List[Span]:
+    """Parse :func:`spans_to_jsonl` output back into spans."""
+    spans = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+# -- Prometheus text format ----------------------------------------------------
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map registry names to the Prometheus charset ([a-zA-Z0-9_:])."""
+    cleaned = [
+        char if (char.isalnum() or char in "_:") else "_" for char in name
+    ]
+    text = "".join(cleaned)
+    if text and text[0].isdigit():
+        text = "_" + text
+    return text
+
+
+def _format_sample(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def metrics_to_prometheus(
+    registry: MetricsRegistry, prefix: str = "repro"
+) -> str:
+    """The registry in the Prometheus exposition text format.
+
+    Counters and gauges become single samples; histograms expose
+    ``_count``/``_sum`` plus ``quantile``-labelled samples; time series
+    export their last value.
+    """
+    lines: List[str] = []
+
+    def emit(name: str, kind: str, samples: List[str]) -> None:
+        lines.append(f"# TYPE {name} {kind}")
+        lines.extend(samples)
+
+    for name, counter in sorted(registry._counters.items()):
+        metric = f"{prefix}_{sanitize_metric_name(name)}"
+        emit(metric, "counter", [f"{metric} {_format_sample(counter.value)}"])
+    for name, gauge in sorted(registry._gauges.items()):
+        metric = f"{prefix}_{sanitize_metric_name(name)}"
+        emit(
+            metric,
+            "gauge",
+            [
+                f"{metric} {_format_sample(gauge.value)}",
+                f"{metric}_min {_format_sample(gauge.min)}",
+                f"{metric}_max {_format_sample(gauge.max)}",
+            ],
+        )
+    for name, histogram in sorted(registry._histograms.items()):
+        metric = f"{prefix}_{sanitize_metric_name(name)}"
+        samples = [
+            f"{metric}_count {_format_sample(float(histogram.count))}",
+            f"{metric}_sum {_format_sample(histogram.total)}",
+        ]
+        for quantile in (0.5, 0.95, 0.99):
+            samples.append(
+                f'{metric}{{quantile="{quantile}"}} '
+                f"{_format_sample(histogram.quantile(quantile))}"
+            )
+        emit(metric, "summary", samples)
+    for name, series in sorted(registry._series.items()):
+        metric = f"{prefix}_{sanitize_metric_name(name)}"
+        last = series.last()
+        emit(
+            metric,
+            "gauge",
+            [f"{metric} {_format_sample(last[1] if last else 0.0)}"],
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Parse exposition text back to ``sample name -> value`` (labels
+    folded into the key), for round-trip tests and quick assertions."""
+    samples: Dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        samples[name] = float(value)
+    return samples
+
+
+def write_text(path: str, text: str) -> str:
+    """Write ``text`` (adding a trailing newline) to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(text if text.endswith("\n") else text + "\n")
+    return path

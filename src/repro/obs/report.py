@@ -1,0 +1,227 @@
+"""Machine-readable run reports: one JSON per experiment run.
+
+A :class:`RunReport` bundles what a benchmark knows at the end of a
+run — environment fingerprint, experiment parameters, the full metrics
+snapshot, trace kind counts, the simulation profile, and the captured
+span trees — under a versioned schema, so the perf trajectory of the
+repository is diffable across commits and renderable without rerunning
+anything (``python -m repro report <experiment>``).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from ..analysis.tables import render_table
+from .spans import Span, SpanTree, build_trees
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.world import World
+    from .profiler import SimProfiler
+
+#: Bump on any backwards-incompatible change to the report layout.
+SCHEMA_VERSION = 1
+
+#: Top-level keys every report carries, in schema order.
+SCHEMA_KEYS = (
+    "schema",
+    "name",
+    "created_at",
+    "env",
+    "params",
+    "metrics",
+    "kind_counts",
+    "profile",
+    "spans",
+)
+
+
+class RunReport:
+    """A serialisable snapshot of one experiment run."""
+
+    def __init__(
+        self,
+        name: str,
+        env: Optional[Dict[str, object]] = None,
+        params: Optional[Dict[str, object]] = None,
+        metrics: Optional[Dict[str, float]] = None,
+        kind_counts: Optional[Dict[str, int]] = None,
+        profile: Optional[Dict[str, object]] = None,
+        spans: Optional[List[Dict[str, object]]] = None,
+        created_at: Optional[float] = None,
+        schema: int = SCHEMA_VERSION,
+    ) -> None:
+        self.schema = schema
+        self.name = name
+        self.created_at = time.time() if created_at is None else created_at
+        self.env = env or {}
+        self.params = params or {}
+        self.metrics = metrics or {}
+        self.kind_counts = kind_counts or {}
+        self.profile = profile
+        self.spans = spans or []
+
+    # -- capture -----------------------------------------------------------
+
+    @classmethod
+    def capture(
+        cls,
+        name: str,
+        world: "World",
+        profiler: Optional["SimProfiler"] = None,
+        params: Optional[Dict[str, object]] = None,
+    ) -> "RunReport":
+        """Snapshot a finished :class:`~repro.core.world.World`."""
+        import repro
+
+        env = {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "repro_version": repro.__version__,
+            "seed": getattr(world, "seed", None),
+            "sim_time": world.env.now,
+            "nodes": len(world.network),
+        }
+        kind_counts = dict(world.trace._kind_counts)
+        spans = [span.to_dict() for span in world.tracer.finished_spans()]
+        return cls(
+            name=name,
+            env=env,
+            params=params,
+            metrics=dict(world.summary()),
+            kind_counts=kind_counts,
+            profile=profiler.as_dict() if profiler is not None else None,
+            spans=spans,
+        )
+
+    # -- (de)serialisation ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": self.schema,
+            "name": self.name,
+            "created_at": self.created_at,
+            "env": self.env,
+            "params": self.params,
+            "metrics": self.metrics,
+            "kind_counts": self.kind_counts,
+            "profile": self.profile,
+            "spans": self.spans,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunReport":
+        return cls(
+            name=str(data.get("name", "")),
+            env=dict(data.get("env") or {}),  # type: ignore[arg-type]
+            params=dict(data.get("params") or {}),  # type: ignore[arg-type]
+            metrics=dict(data.get("metrics") or {}),  # type: ignore[arg-type]
+            kind_counts=dict(data.get("kind_counts") or {}),  # type: ignore[arg-type]
+            profile=data.get("profile"),  # type: ignore[arg-type]
+            spans=list(data.get("spans") or []),  # type: ignore[arg-type]
+            created_at=float(data.get("created_at", 0.0)),  # type: ignore[arg-type]
+            schema=int(data.get("schema", SCHEMA_VERSION)),  # type: ignore[arg-type]
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunReport":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path: str) -> "RunReport":
+        with open(path) as handle:
+            return cls.from_json(handle.read())
+
+    def write(self, path: str) -> str:
+        with open(path, "w") as handle:
+            handle.write(self.to_json() + "\n")
+        return path
+
+    # -- inspection ----------------------------------------------------------
+
+    def span_trees(self) -> List[SpanTree]:
+        return build_trees([Span.from_dict(data) for data in self.spans])
+
+    def complete_trees(self) -> List[SpanTree]:
+        """Span trees in which every span finished."""
+        return [tree for tree in self.span_trees() if tree.complete()]
+
+    def render(self, top: int = 20) -> str:
+        """The report as human-readable text (tables + span trees)."""
+        parts = [
+            f"run report — {self.name}  (schema v{self.schema})",
+            "  "
+            + "  ".join(
+                f"{key}={value}" for key, value in sorted(self.env.items())
+            ),
+        ]
+        if self.params:
+            parts.append(
+                "  params: "
+                + ", ".join(
+                    f"{key}={value}"
+                    for key, value in sorted(self.params.items())
+                )
+            )
+        metric_rows = [
+            [name, value] for name, value in sorted(self.metrics.items())
+        ]
+        parts.append(
+            render_table(
+                f"metrics ({len(metric_rows)})", ["metric", "value"],
+                metric_rows,
+            )
+        )
+        if self.kind_counts:
+            count_rows = sorted(
+                self.kind_counts.items(), key=lambda item: -item[1]
+            )[:top]
+            parts.append(
+                render_table(
+                    "trace kinds (top)", ["kind", "count"],
+                    [[kind, count] for kind, count in count_rows],
+                )
+            )
+        if self.profile:
+            label_rows = [
+                [row["label"], row["count"], row["seconds"]]
+                for row in self.profile.get("by_label", [])[:top]  # type: ignore[union-attr]
+            ]
+            parts.append(
+                render_table(
+                    "profile — time in subsystem "
+                    f"({self.profile.get('events_processed', 0)} events, "  # type: ignore[union-attr]
+                    f"{float(self.profile.get('wall_seconds', 0.0)):.3f}s)",  # type: ignore[arg-type, union-attr]
+                    ["label", "callbacks", "seconds"],
+                    label_rows,
+                )
+            )
+            event_rows = [
+                [row["kind"], row["count"], row["seconds"]]
+                for row in self.profile.get("hottest_events", [])  # type: ignore[union-attr]
+            ]
+            if event_rows:
+                parts.append(
+                    render_table(
+                        "profile — hottest event kinds",
+                        ["event", "count", "seconds"],
+                        event_rows,
+                    )
+                )
+        trees = self.span_trees()
+        if trees:
+            complete = sum(1 for tree in trees if tree.complete())
+            parts.append(
+                f"spans: {len(self.spans)} in {len(trees)} trees "
+                f"({complete} complete); largest tree:"
+            )
+            largest = max(trees, key=lambda tree: tree.size)
+            parts.append(largest.render())
+        return "\n\n".join(parts)

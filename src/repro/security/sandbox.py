@@ -114,10 +114,17 @@ class ExecutionResult:
 
 
 class Sandbox:
-    """Runs guest callables under a context, converting failures."""
+    """Runs guest callables under a context, converting failures.
 
-    def __init__(self, host_id: str) -> None:
+    ``metrics`` (a :class:`~repro.sim.metrics.MetricsRegistry`, or
+    None) receives ``security.sandbox_*`` counters and the per-guest
+    work histogram, so a fleet's guest activity shows up in run
+    reports.
+    """
+
+    def __init__(self, host_id: str, metrics: Optional[Any] = None) -> None:
         self.host_id = host_id
+        self.metrics = metrics
         self.executions = 0
         self.violations = 0
 
@@ -131,10 +138,16 @@ class Sandbox:
         error text (the "remote traceback").
         """
         self.executions += 1
+        if self.metrics is not None:
+            self.metrics.counter("security.sandbox_runs").increment()
         try:
             value = guest(context, *args)
         except SandboxViolation as violation:
             self.violations += 1
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "security.sandbox_violations"
+                ).increment()
             return ExecutionResult(
                 ok=False,
                 error=str(violation),
@@ -142,10 +155,16 @@ class Sandbox:
                 work_used=context.work_used,
             )
         except Exception as error:  # noqa: BLE001 - guest code is untrusted
+            if self.metrics is not None:
+                self.metrics.counter("security.sandbox_errors").increment()
             return ExecutionResult(
                 ok=False,
                 error=f"{type(error).__name__}: {error}",
                 error_type=type(error).__name__,
                 work_used=context.work_used,
+            )
+        if self.metrics is not None:
+            self.metrics.histogram("security.guest_work").observe(
+                context.work_used
             )
         return ExecutionResult(ok=True, value=value, work_used=context.work_used)

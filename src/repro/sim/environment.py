@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import List, Optional, Tuple
 
 from ..errors import EmptySchedule, SimulationError, StopSimulation
@@ -30,6 +31,9 @@ class Environment:
         self._seq = 0
         #: Set while a process's generator is being advanced.
         self._resuming_process: Optional[Process] = None
+        #: Attachment point for :class:`repro.obs.SimProfiler`; when
+        #: None (the default) the kernel pays one check per step.
+        self._profiler: Optional[object] = None
 
     def __repr__(self) -> str:
         return f"<Environment now={self._now:.6g} pending={len(self._queue)}>"
@@ -88,8 +92,19 @@ class Environment:
         callbacks = event._mark_processed()
         if callbacks is None:  # pragma: no cover - defensive
             return
-        for callback in callbacks:
-            callback(event)
+        profiler = self._profiler
+        if profiler is None:
+            for callback in callbacks:
+                callback(event)
+        else:
+            total = 0.0
+            for callback in callbacks:
+                started = perf_counter()
+                callback(event)
+                elapsed = perf_counter() - started
+                profiler.record_callback(event, callback, elapsed)  # type: ignore[attr-defined]
+                total += elapsed
+            profiler.record_event(event, total)  # type: ignore[attr-defined]
         if not event._ok and not event._defused:
             # A failure nobody consumed: surface it rather than losing it.
             raise event._value  # type: ignore[misc]

@@ -14,7 +14,6 @@ registry to a flat dict for table output and assertions in tests.
 from __future__ import annotations
 
 import math
-from bisect import insort
 from typing import Dict, List, Optional, Tuple
 
 
@@ -53,35 +52,56 @@ class Gauge:
 
     @property
     def max(self) -> float:
-        return self._max
+        """Largest value ever set (0.0 for a never-set gauge)."""
+        return self._max if self._max != -math.inf else 0.0
 
     @property
     def min(self) -> float:
-        return self._min
+        """Smallest value ever set (0.0 for a never-set gauge)."""
+        return self._min if self._min != math.inf else 0.0
+
+    @property
+    def touched(self) -> bool:
+        """True once ``set``/``add`` has been called at least once."""
+        return self._max != -math.inf
 
     def __repr__(self) -> str:
         return f"<Gauge {self.name}={self.value:g}>"
 
 
 class Histogram:
-    """A distribution of samples with mean and quantile queries."""
+    """A distribution of samples with mean and quantile queries.
+
+    ``observe`` is O(1): samples go into an append-only buffer that is
+    sorted lazily on the first quantile/min/max query after new data
+    (hot paths observe millions of samples; quantiles are read once at
+    the end of a run).
+    """
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self._sorted: List[float] = []
+        self._samples: List[float] = []
+        self._dirty = False
         self._sum = 0.0
 
     def observe(self, value: float) -> None:
-        insort(self._sorted, value)
+        self._samples.append(value)
+        self._dirty = True
         self._sum += value
+
+    def _ordered(self) -> List[float]:
+        if self._dirty:
+            self._samples.sort()
+            self._dirty = False
+        return self._samples
 
     @property
     def count(self) -> int:
-        return len(self._sorted)
+        return len(self._samples)
 
     @property
     def mean(self) -> float:
-        return self._sum / len(self._sorted) if self._sorted else 0.0
+        return self._sum / len(self._samples) if self._samples else 0.0
 
     @property
     def total(self) -> float:
@@ -91,16 +111,17 @@ class Histogram:
         """Linear-interpolated quantile ``q`` in [0, 1]."""
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile {q} outside [0, 1]")
-        if not self._sorted:
+        ordered = self._ordered()
+        if not ordered:
             return 0.0
-        if len(self._sorted) == 1:
-            return self._sorted[0]
-        position = q * (len(self._sorted) - 1)
+        if len(ordered) == 1:
+            return ordered[0]
+        position = q * (len(ordered) - 1)
         low = int(math.floor(position))
-        high = min(low + 1, len(self._sorted) - 1)
+        high = min(low + 1, len(ordered) - 1)
         fraction = position - low
-        low_value = self._sorted[low]
-        high_value = self._sorted[high]
+        low_value = ordered[low]
+        high_value = ordered[high]
         # a + (b-a)*f keeps the result inside [a, b] under rounding.
         return low_value + (high_value - low_value) * fraction
 
@@ -113,12 +134,18 @@ class Histogram:
         return self.quantile(0.95)
 
     @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    @property
     def max(self) -> float:
-        return self._sorted[-1] if self._sorted else 0.0
+        ordered = self._ordered()
+        return ordered[-1] if ordered else 0.0
 
     @property
     def min(self) -> float:
-        return self._sorted[0] if self._sorted else 0.0
+        ordered = self._ordered()
+        return ordered[0] if ordered else 0.0
 
     def __repr__(self) -> str:
         return f"<Histogram {self.name} n={self.count} mean={self.mean:g}>"
@@ -188,11 +215,15 @@ class MetricsRegistry:
             snapshot[name] = counter.value
         for name, gauge in self._gauges.items():
             snapshot[name] = gauge.value
+            # Sane (0.0, never ±inf) even for never-set gauges.
+            snapshot[f"{name}.min"] = gauge.min
+            snapshot[f"{name}.max"] = gauge.max
         for name, histogram in self._histograms.items():
             snapshot[f"{name}.count"] = float(histogram.count)
             snapshot[f"{name}.mean"] = histogram.mean
             snapshot[f"{name}.median"] = histogram.median
             snapshot[f"{name}.p95"] = histogram.p95
+            snapshot[f"{name}.p99"] = histogram.p99
         for name, series in self._series.items():
             last = series.last()
             snapshot[f"{name}.last"] = last[1] if last else 0.0

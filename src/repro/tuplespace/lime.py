@@ -57,6 +57,8 @@ class LimeSpace(Component):
             host.world.network,
             host.node,
             interval=self.scan_interval,
+            metrics=host.world.metrics,
+            trace=host.world.trace,
         )
         self._monitor.subscribe(self._on_peer_change)
 

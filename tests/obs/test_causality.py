@@ -1,0 +1,114 @@
+"""End-to-end span causality: one REV call through a real World.
+
+The acceptance test of the tracing design — a single remote evaluation
+must come back as one connected tree spanning both hosts: the client's
+``rev.evaluate`` and ``host.request``, the request and reply transits,
+and the server's ``host.handle``.
+"""
+
+from repro.core import World, mutual_trust, standard_host
+from repro.lmu import code_unit
+from repro.net import GPRS, LAN, Position
+
+
+def compute_unit():
+    def factory():
+        def body(ctx, *args):
+            ctx.charge(10_000)
+            return {"args": list(args)}
+
+        return body
+
+    return code_unit("worker", "1.0.0", factory, 20_000)
+
+
+def traced_world():
+    world = World(seed=7, trace_enabled=True)
+    world.transport._rng.random = lambda: 0.999
+    phone = standard_host(world, "phone", Position(0, 0), [GPRS])
+    server = standard_host(
+        world, "server", Position(0, 0), [LAN], fixed=True
+    )
+    mutual_trust(phone, server)
+    phone.node.interface("gprs").attach()
+    return world, phone, server
+
+
+def run_rev_roundtrip():
+    world, phone, server = traced_world()
+    phone.codebase.install(compute_unit())
+
+    def go():
+        value = yield from phone.component("rev").evaluate(
+            "server", ["worker"], args=(1, 2)
+        )
+        return value
+
+    process = world.env.process(go())
+    value = world.run(until=process)
+    world.run(until=world.now + 60.0)  # let the server-side span close
+    return world, value
+
+
+class TestRevRoundTripCausality:
+    def test_one_connected_complete_tree(self):
+        world, value = run_rev_roundtrip()
+        assert value == {"args": [1, 2]}
+        trees = world.tracer.trees()
+        assert len(trees) == 1, [t.span.name for t in trees]
+        tree = trees[0]
+        assert tree.complete()
+        assert tree.span.name == "rev.evaluate"
+        # Every span shares one trace id.
+        trace_ids = {span.trace_id for _d, span in tree.walk()}
+        assert len(trace_ids) == 1
+
+    def test_parent_child_edges(self):
+        world, _value = run_rev_roundtrip()
+        (tree,) = world.tracer.trees()
+        (evaluate,) = tree.find("rev.evaluate")
+        (request,) = tree.find("host.request")
+        (handle,) = tree.find("host.handle")
+        transmits = tree.find("net.transmit")
+        assert request.parent_id == evaluate.span_id
+        # The server-side handle hangs off the client's request via the
+        # wire context carried in the message.
+        assert handle.parent_id == request.span_id
+        assert handle.source == "server"
+        # Both network legs (request out, reply back) are children of
+        # the request span: the reply inherits context via reply().
+        assert len(transmits) == 2
+        assert {t.parent_id for t in transmits} == {request.span_id}
+        sources = sorted(t.source for t in transmits)
+        assert sources == ["phone", "server"]
+
+    def test_sim_time_ordering(self):
+        world, _value = run_rev_roundtrip()
+        (tree,) = world.tracer.trees()
+        (evaluate,) = tree.find("rev.evaluate")
+        (request,) = tree.find("host.request")
+        request_leg, reply_leg = sorted(
+            tree.find("net.transmit"), key=lambda span: span.start
+        )
+        assert evaluate.start <= request.start <= request_leg.start
+        assert request_leg.end <= reply_leg.start
+        assert reply_leg.end == request.end
+
+    def test_disabled_world_stays_clean(self):
+        world = World(seed=7)  # tracing off by default
+        phone = standard_host(world, "phone", Position(0, 0), [GPRS])
+        server = standard_host(
+            world, "server", Position(0, 0), [LAN], fixed=True
+        )
+        mutual_trust(phone, server)
+        phone.node.interface("gprs").attach()
+        world.transport._rng.random = lambda: 0.999
+        phone.codebase.install(compute_unit())
+
+        def go():
+            yield from phone.component("rev").evaluate("server", ["worker"])
+
+        process = world.env.process(go())
+        world.run(until=process)
+        assert len(world.tracer) == 0
+        assert world.tracer.started_total == 0

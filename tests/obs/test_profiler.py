@@ -1,0 +1,80 @@
+"""Unit tests for the simulation profiler."""
+
+import pytest
+
+from repro.obs import SimProfiler
+from repro.sim import Environment
+
+
+def run_workload(env):
+    def worker(env):
+        for _ in range(10):
+            yield env.timeout(1.0)
+
+    env.process(worker(env), name="dispatch:host-a")
+    env.process(worker(env), name="beacon#7")
+    env.run()
+
+
+class TestSimProfiler:
+    def test_attribution_by_label(self):
+        env = Environment()
+        profiler = SimProfiler().attach(env)
+        run_workload(env)
+        labels = {row["label"] for row in profiler.by_label()}
+        # Process names collapse at separators: dispatch:host-a -> dispatch.
+        assert "dispatch" in labels
+        assert "beacon" in labels
+        assert profiler.events_processed > 0
+        assert profiler.wall_seconds > 0.0
+
+    def test_hottest_events(self):
+        env = Environment()
+        profiler = SimProfiler().attach(env)
+        run_workload(env)
+        hottest = profiler.hottest_events(top=3)
+        assert hottest
+        assert len(hottest) <= 3
+        kinds = [row["kind"] for row in hottest]
+        assert "Timeout" in kinds
+
+    def test_as_dict_shape(self):
+        env = Environment()
+        profiler = SimProfiler().attach(env)
+        run_workload(env)
+        data = profiler.as_dict()
+        assert set(data) == {
+            "wall_seconds",
+            "events_processed",
+            "by_label",
+            "hottest_events",
+        }
+        for row in data["by_label"]:
+            assert set(row) == {"label", "count", "seconds"}
+
+    def test_detach_stops_recording(self):
+        env = Environment()
+        profiler = SimProfiler().attach(env)
+        assert profiler.attached
+        profiler.detach()
+        assert not profiler.attached
+        run_workload(env)
+        assert profiler.events_processed == 0
+
+    def test_double_attach_rejected(self):
+        env = Environment()
+        SimProfiler().attach(env)
+        with pytest.raises(RuntimeError):
+            SimProfiler().attach(env)
+
+    def test_unprofiled_environment_runs_clean(self):
+        env = Environment()
+        run_workload(env)
+        assert env.now == 10.0
+
+    def test_render_is_text(self):
+        env = Environment()
+        profiler = SimProfiler().attach(env)
+        run_workload(env)
+        text = profiler.render()
+        assert "dispatch" in text

@@ -1,0 +1,170 @@
+"""Unit tests for causal spans and span trees."""
+
+import pytest
+
+from repro.obs import NOOP_SPAN, STATUS_ERROR, STATUS_OK, SpanTracer, build_trees
+from repro.sim.tracing import TraceLog
+
+
+def make_tracer(**kwargs):
+    clock = {"now": 0.0}
+    tracer = SpanTracer(now=lambda: clock["now"], **kwargs)
+    return tracer, clock
+
+
+class TestSpanLifecycle:
+    def test_start_finish_records_interval(self):
+        tracer, clock = make_tracer()
+        span = tracer.start("op", "host-a", key="value")
+        clock["now"] = 2.5
+        tracer.finish(span)
+        assert span.finished
+        assert span.start == 0.0
+        assert span.end == 2.5
+        assert span.duration == 2.5
+        assert span.status == STATUS_OK
+        assert span.attributes == {"key": "value"}
+        assert tracer.finished_spans() == [span]
+
+    def test_finish_attributes_merge(self):
+        tracer, clock = make_tracer()
+        span = tracer.start("op", "a", first=1)
+        tracer.finish(span, second=2)
+        assert span.attributes == {"first": 1, "second": 2}
+
+    def test_double_finish_is_idempotent(self):
+        tracer, clock = make_tracer()
+        span = tracer.start("op", "a")
+        clock["now"] = 1.0
+        tracer.finish(span)
+        clock["now"] = 9.0
+        tracer.finish(span)
+        assert span.end == 1.0
+        assert len(tracer) == 1
+
+    def test_error_status(self):
+        tracer, _clock = make_tracer()
+        span = tracer.start("op", "a")
+        tracer.finish(span, status=STATUS_ERROR, error="boom")
+        assert span.status == STATUS_ERROR
+        assert span.attributes["error"] == "boom"
+
+    def test_context_manager_marks_errors(self):
+        tracer, _clock = make_tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("op", "a"):
+                raise RuntimeError("bad")
+        (span,) = tracer.finished_spans()
+        assert span.status == STATUS_ERROR
+
+    def test_counters_survive_ring_eviction(self):
+        tracer, _clock = make_tracer(max_spans=2)
+        for _ in range(5):
+            tracer.finish(tracer.start("op", "a"))
+        assert len(tracer) == 2
+        assert tracer.started_total == 5
+        assert tracer.finished_total == 5
+
+
+class TestParentage:
+    def test_child_of_span(self):
+        tracer, _clock = make_tracer()
+        parent = tracer.start("parent", "a")
+        child = tracer.start("child", "a", parent=parent)
+        assert child.parent_id == parent.span_id
+        assert child.trace_id == parent.trace_id
+
+    def test_child_of_wire_context(self):
+        tracer, _clock = make_tracer()
+        parent = tracer.start("parent", "a")
+        context = tracer.context(parent)
+        assert context == {"trace": parent.trace_id, "span": parent.span_id}
+        child = tracer.start("child", "b", parent=context)
+        assert child.parent_id == parent.span_id
+        assert child.trace_id == parent.trace_id
+
+    def test_roots_get_fresh_traces(self):
+        tracer, _clock = make_tracer()
+        first = tracer.start("a", "x")
+        second = tracer.start("b", "x")
+        assert first.trace_id != second.trace_id
+
+
+class TestDisabledTracer:
+    def test_start_returns_shared_noop(self):
+        tracer, _clock = make_tracer(enabled=False)
+        span = tracer.start("op", "a", key="value")
+        assert span is NOOP_SPAN
+        tracer.finish(span)
+        assert len(tracer) == 0
+        assert tracer.started_total == 0
+
+    def test_noop_span_accumulates_nothing(self):
+        tracer, _clock = make_tracer(enabled=False)
+        span = tracer.start("op", "a", key="value")
+        span.attributes["more"] = True
+        assert NOOP_SPAN.attributes == {}
+
+    def test_context_is_none(self):
+        tracer, _clock = make_tracer(enabled=False)
+        assert tracer.context(tracer.start("op", "a")) is None
+
+
+class TestTraceLogMirror:
+    def test_finished_span_mirrored(self):
+        log = TraceLog()
+        clock = {"now": 0.0}
+        tracer = SpanTracer(now=lambda: clock["now"], trace=log)
+        span = tracer.start("op", "host-a")
+        clock["now"] = 1.5
+        tracer.finish(span)
+        (record,) = log.select(kind="span")
+        assert record.fields["name"] == "op"
+        assert record.fields["span"] == span.span_id
+        assert record.fields["duration"] == 1.5
+
+
+class TestTrees:
+    def test_build_and_walk(self):
+        tracer, clock = make_tracer()
+        root = tracer.start("root", "a")
+        child = tracer.start("child", "a", parent=root)
+        grandchild = tracer.start("grandchild", "b", parent=child)
+        for span in (grandchild, child, root):
+            tracer.finish(span)
+        (tree,) = tracer.trees()
+        assert tree.size == 3
+        assert tree.complete()
+        assert [name for name in ("root", "child", "grandchild")] == [
+            span.name for _depth, span in tree.walk()
+        ]
+        assert [depth for depth, _span in tree.walk()] == [0, 1, 2]
+        assert tree.find("grandchild") == [grandchild]
+
+    def test_orphans_become_roots(self):
+        tracer, _clock = make_tracer()
+        parent = tracer.start("parent", "a")
+        child = tracer.start("child", "a", parent=parent)
+        tracer.finish(child)  # parent still active -> child is an orphan
+        trees = tracer.trees()
+        assert len(trees) == 1
+        assert trees[0].span is child
+        assert not trees[0].children
+
+    def test_incomplete_tree_detected(self):
+        tracer, _clock = make_tracer()
+        root = tracer.start("root", "a")
+        child = tracer.start("child", "a", parent=root)
+        tracer.finish(root)  # child never finishes
+        trees = build_trees(tracer.finished_spans() + [child])
+        (tree,) = trees
+        assert not tree.complete()
+
+    def test_render_shows_names_and_status(self):
+        tracer, clock = make_tracer()
+        root = tracer.start("root", "a")
+        clock["now"] = 1.0
+        tracer.finish(root, status=STATUS_ERROR)
+        text = tracer.render()
+        assert "root [a]" in text
+        assert "!error" in text

@@ -28,6 +28,20 @@ class TestGauge:
         assert gauge.max == 5
         assert gauge.min == 2
 
+    def test_never_set_gauge_has_sane_extremes(self):
+        gauge = Gauge("depth")
+        assert gauge.value == 0.0
+        assert gauge.min == 0.0  # not +inf
+        assert gauge.max == 0.0  # not -inf
+        assert not gauge.touched
+
+    def test_touched_after_set(self):
+        gauge = Gauge("depth")
+        gauge.set(-3)
+        assert gauge.touched
+        assert gauge.min == -3
+        assert gauge.max == -3
+
 
 class TestHistogram:
     def test_mean_and_quantiles(self):
@@ -55,6 +69,23 @@ class TestHistogram:
         histogram = Histogram("x")
         histogram.observe(7.0)
         assert histogram.quantile(0.3) == 7.0
+
+    def test_p99(self):
+        histogram = Histogram("x")
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        assert histogram.p99 == 99.01
+
+    def test_lazy_sort_interleaved_queries(self):
+        # Queries between observations must always see sorted data.
+        histogram = Histogram("x")
+        histogram.observe(5.0)
+        histogram.observe(1.0)
+        assert histogram.min == 1.0
+        histogram.observe(0.5)
+        assert histogram.min == 0.5
+        assert histogram.max == 5.0
+        assert histogram.median == 1.0
 
 
 class TestTimeSeries:
@@ -102,6 +133,24 @@ class TestRegistry:
         assert snapshot["depth"] == 2
         assert snapshot["lat.count"] == 1
         assert snapshot["battery.last"] == 100.0
+
+    def test_snapshot_gauge_extremes_and_p99(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth").set(4)
+        registry.gauge("depth").set(1)
+        for value in range(1, 101):
+            registry.histogram("lat").observe(float(value))
+        snapshot = registry.snapshot()
+        assert snapshot["depth.min"] == 1.0
+        assert snapshot["depth.max"] == 4.0
+        assert snapshot["lat.p99"] == 99.01
+
+    def test_snapshot_untouched_gauge_is_zero(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth")
+        snapshot = registry.snapshot()
+        assert snapshot["depth.min"] == 0.0
+        assert snapshot["depth.max"] == 0.0
 
     def test_names_sorted(self):
         registry = MetricsRegistry()
@@ -171,6 +220,20 @@ class TestTraceLog:
         log = TraceLog(enabled=False)
         log.emit(0.0, "s", "k")
         assert len(log) == 0
+        assert log.count("k") == 1
+
+    def test_disabled_counting_is_optional(self):
+        # count_when_disabled=False buys a true zero-cost disabled mode:
+        # no records AND no kind counting.
+        log = TraceLog(enabled=False, count_when_disabled=False)
+        log.emit(0.0, "s", "k")
+        assert len(log) == 0
+        assert log.count("k") == 0
+
+    def test_count_when_disabled_irrelevant_while_enabled(self):
+        log = TraceLog(enabled=True, count_when_disabled=False)
+        log.emit(0.0, "s", "k")
+        assert len(log) == 1
         assert log.count("k") == 1
 
     def test_render_contains_fields(self):
