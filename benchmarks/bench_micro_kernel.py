@@ -16,7 +16,7 @@ from time import perf_counter
 from repro.core import Agent, World, mutual_trust, standard_host
 from repro.net import Message, Position, WIFI_ADHOC
 from repro.obs import SpanTracer
-from repro.sim import Environment
+from repro.sim import AllOf, AnyOf, Environment, Event
 from repro.sim.metrics import Histogram
 
 from _common import instrument, write_report
@@ -207,6 +207,50 @@ def test_disabled_tracing_overhead(benchmark):
           f"{per_event * 1e9:.0f}ns ({ratio * 100:.1f}%)")
     assert ratio < 0.10, f"disabled tracing costs {ratio * 100:.1f}% per event"
     benchmark(disabled_spans)
+
+
+def test_kernel_objects_stay_slotted(benchmark):
+    """Hot kernel classes must stay ``__dict__``-free and condition
+    churn cheap.
+
+    Guards the slots micro-opt: events are the kernel's unit of
+    allocation, so a subclass quietly dropping its ``__slots__``
+    declaration re-grows a per-instance dict (and the allocation cost)
+    without failing any functional test.  Also pins the shared
+    module-level condition evaluators — one function object for all
+    AnyOf/AllOf instances instead of a fresh closure each.
+    """
+    env = Environment()
+
+    def nap(env):
+        yield env.timeout(1.0)
+
+    samples = [
+        Event(env),
+        env.timeout(0.0),
+        env.process(nap(env)),
+        AnyOf(env, [Event(env), Event(env)]),
+        AllOf(env, [Event(env), Event(env)]),
+    ]
+    for instance in samples:
+        assert not hasattr(instance, "__dict__"), type(instance).__name__
+    assert AnyOf(env, [])._evaluate is AnyOf(env, [])._evaluate
+    assert AllOf(env, [])._evaluate is AllOf(env, [])._evaluate
+
+    def condition_churn():
+        env = Environment()
+
+        def waiter(env):
+            for _ in range(2_000):
+                events = (env.timeout(0.0), env.timeout(1.0))
+                yield AnyOf(env, events)
+                yield AllOf(env, events)
+
+        env.process(waiter(env))
+        env.run()
+        return env.now
+
+    assert benchmark(condition_churn) == 2_000.0
 
 
 def test_micro_report(benchmark):

@@ -109,4 +109,7 @@ class World:
                 "fleet.money": fleet.money,
             }
         )
+        # Topology-cache effectiveness (see docs/PERFORMANCE.md).
+        for key, value in self.network.cache_info().items():
+            snapshot[f"net.topo.{key}"] = value
         return snapshot

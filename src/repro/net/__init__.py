@@ -8,18 +8,19 @@ m-commerce arguments are about money as much as time.
 """
 
 from .cost import CostMeter
-from .geometry import Area, Position
+from .geometry import Area, Position, SpatialGrid
 from .message import HEADER_BYTES, Message
 from .mobility import PathMobility, RandomWaypoint, grid_positions
 from .monitor import ConnectivityMonitor
 from .network import (
     Link,
     Network,
+    PhysicalNetwork,
     prefer_fast,
     prefer_free_then_fast,
 )
 from .node import Interface, NetworkNode
-from .routing import Router
+from .routing import Router, RoutingTable
 from .technologies import (
     BACKBONE_LATENCY_S,
     BLUETOOTH,
@@ -59,9 +60,12 @@ __all__ = [
     "Network",
     "NetworkNode",
     "PathMobility",
+    "PhysicalNetwork",
     "Position",
     "RandomWaypoint",
     "Router",
+    "RoutingTable",
+    "SpatialGrid",
     "TECHNOLOGIES",
     "Transport",
     "WIFI_ADHOC",

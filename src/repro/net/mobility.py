@@ -54,9 +54,10 @@ class RandomWaypoint:
         while True:
             destination = self.area.random_position(rng)
             speed = rng.uniform(*self.speed_range)
+            step = speed * self.tick
             while node.position != destination:
                 yield self.env.timeout(self.tick)
-                node.move_to(node.position.towards(destination, speed * self.tick))
+                node.move_to(node.position.towards(destination, step))
             pause = rng.uniform(*self.pause_range)
             if pause > 0:
                 yield self.env.timeout(pause)

@@ -42,6 +42,9 @@ class ConnectivityMonitor:
         self.metrics = metrics
         self.trace = trace
         self.current: Set[str] = set()
+        #: Topology epoch at the last scan; an unchanged epoch proves the
+        #: neighbour set cannot have changed, so the diff is skipped.
+        self._scanned_epoch: Optional[int] = None
         self._listeners: List[NeighborListener] = []
         self._process = env.process(self._scan_loop(), name=f"monitor:{node.id}")
 
@@ -58,6 +61,17 @@ class ConnectivityMonitor:
         return set(self.current)
 
     def _rescan(self) -> None:
+        epoch = self.network.topology_epoch
+        if epoch == self._scanned_epoch:
+            # Nothing moved, toggled, or churned since the last beacon:
+            # the cached range query would return the same set, so only
+            # refresh the density gauge and skip the set diff.
+            if self.metrics is not None:
+                self.metrics.gauge("monitor.neighbors").set(
+                    float(len(self.current))
+                )
+            return
+        self._scanned_epoch = epoch
         fresh = {
             neighbor.id
             for neighbor in self.network.neighbors(

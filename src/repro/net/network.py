@@ -1,7 +1,7 @@
 """The network: node registry and instantaneous connectivity.
 
-Connectivity is computed on demand from node positions and interface
-states, so mobility and churn are reflected immediately:
+Connectivity is a pure function of node positions and interface states,
+so mobility and churn are reflected immediately:
 
 * two usable *ad-hoc* interfaces of the same technology connect when the
   nodes are within radio range;
@@ -9,15 +9,26 @@ states, so mobility and churn are reflected immediately:
   connect through the fixed backbone — e.g. a GPRS handset reaching a
   LAN server; the path takes the minimum bandwidth and the sum of
   latencies plus a backbone hop.
+
+Topology queries are *incremental* rather than recomputed: every
+mutation that can change connectivity (node add, move, crash/restart,
+interface enable/disable/attach/detach) bumps a **topology epoch**, and
+``links_between``/``neighbors``/``adjacency``/``reachable_set``/
+``shortest_path`` results are cached until the epoch moves.  Candidate
+enumeration uses a :class:`~repro.net.geometry.SpatialGrid` so range
+queries touch only nearby nodes instead of the whole registry.  The
+cached fast paths are bit-identical to the naive sweeps kept in
+:mod:`repro.net.reference` (property-tested under random mobility).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from ..errors import NetworkError
 from ..sim import Environment
+from .geometry import SpatialGrid
 from .node import Interface, NetworkNode
 from .technologies import BACKBONE_LATENCY_S, LinkTechnology
 
@@ -92,17 +103,50 @@ def prefer_fast(link: Link) -> tuple:
     return (-link.bandwidth_bps, link.latency_s)
 
 
+#: Sentinel distinguishing "not cached" from a cached ``None`` path.
+_MISSING = object()
+
+
 class Network:
-    """Registry of nodes plus connectivity queries."""
+    """Registry of nodes plus epoch-cached connectivity queries."""
+
+    #: Default spatial-hash cell size; grown to the longest radio range
+    #: seen so a single query ring covers one full range circle.
+    DEFAULT_CELL_M = 100.0
 
     def __init__(self, env: Environment) -> None:
         self.env = env
         self.nodes: Dict[str, NetworkNode] = {}
+        self._grid = SpatialGrid(cell_size=self.DEFAULT_CELL_M)
+        #: Node id -> registration index; imposes registry iteration
+        #: order on grid candidates so results match the naive sweep.
+        self._order: Dict[str, int] = {}
+        self._epoch = 0
+        self._cache_epoch = -1
+        self._links_cache: Dict[Tuple[str, str], Tuple[Link, ...]] = {}
+        self._neighbors_cache: Dict[
+            Tuple[str, Optional[str]], Tuple[NetworkNode, ...]
+        ] = {}
+        self._adjacency_cache: Dict[bool, Dict[str, FrozenSet[str]]] = {}
+        self._reachable_cache: Dict[Tuple[str, bool], FrozenSet[str]] = {}
+        self._path_cache: Dict[Tuple[str, str, bool], object] = {}
+        self._coverage_cache: Dict[Tuple[str, str], bool] = {}
+        self.cache_stats = {"hits": 0, "misses": 0, "invalidations": 0}
 
     def add_node(self, node: NetworkNode) -> NetworkNode:
         if node.id in self.nodes:
             raise NetworkError(f"duplicate node id {node.id!r}")
+        if node._network is not None and node._network is not self:
+            raise NetworkError(
+                f"node {node.id!r} already belongs to another network"
+            )
         self.nodes[node.id] = node
+        self._order[node.id] = len(self._order)
+        node._network = self
+        for interface in node.interfaces.values():
+            self._note_range(interface.technology)
+        self._grid.insert(node.id, node.position)
+        self._epoch += 1
         return node
 
     def node(self, node_id: str) -> NetworkNode:
@@ -117,14 +161,79 @@ class Network:
     def __len__(self) -> int:
         return len(self.nodes)
 
+    # -- topology epoch -------------------------------------------------------
+
+    @property
+    def topology_epoch(self) -> int:
+        """Monotonic counter; unchanged epoch guarantees identical
+        answers from every connectivity query."""
+        return self._epoch
+
+    def cache_info(self) -> Dict[str, float]:
+        """Flat snapshot of cache effectiveness for reports/benchmarks."""
+        return {
+            "epoch": float(self._epoch),
+            "hits": float(self.cache_stats["hits"]),
+            "misses": float(self.cache_stats["misses"]),
+            "invalidations": float(self.cache_stats["invalidations"]),
+            "grid_cell_m": self._grid.cell_size,
+        }
+
+    def _note_range(self, technology: LinkTechnology) -> None:
+        if technology.range_m > self._grid.cell_size:
+            self._grid.rebuild(technology.range_m)
+
+    # Mutation hooks, called from NetworkNode/Interface.
+
+    def _node_moved(self, node: NetworkNode) -> None:
+        if self.nodes.get(node.id) is node:
+            self._grid.move(node.id, node.position)
+            self._epoch += 1
+
+    def _topology_changed(self, node: NetworkNode) -> None:
+        self._epoch += 1
+
+    def _interface_added(self, node: NetworkNode, technology: LinkTechnology) -> None:
+        self._note_range(technology)
+        self._epoch += 1
+
+    def _validate_caches(self) -> None:
+        if self._cache_epoch != self._epoch:
+            self._links_cache.clear()
+            self._neighbors_cache.clear()
+            self._adjacency_cache.clear()
+            self._reachable_cache.clear()
+            self._path_cache.clear()
+            self._coverage_cache.clear()
+            self._cache_epoch = self._epoch
+            self.cache_stats["invalidations"] += 1
+
+    def _registered(self, node: NetworkNode) -> bool:
+        return self.nodes.get(node.id) is node
+
     # -- connectivity --------------------------------------------------------
 
-    def links_between(self, a: NetworkNode, b: NetworkNode) -> List[Link]:
+    def links_between(self, a: NetworkNode, b: NetworkNode) -> Tuple[Link, ...]:
         """Every link that could carry a message from ``a`` to ``b`` now."""
         if a.id == b.id:
             raise NetworkError(f"node {a.id!r} cannot link to itself")
+        cacheable = self._registered(a) and self._registered(b)
+        if cacheable:
+            self._validate_caches()
+            key = (a.id, b.id)
+            cached = self._links_cache.get(key)
+            if cached is not None:
+                self.cache_stats["hits"] += 1
+                return cached
+            self.cache_stats["misses"] += 1
+        links = self._compute_links(a, b)
+        if cacheable:
+            self._links_cache[key] = links
+        return links
+
+    def _compute_links(self, a: NetworkNode, b: NetworkNode) -> Tuple[Link, ...]:
         if not (a.up and b.up):
-            return []
+            return ()
         links: List[Link] = []
         a_ifaces = a.usable_interfaces()
         b_by_name = {i.technology.name: i for i in b.usable_interfaces()}
@@ -154,7 +263,7 @@ class Network:
                 links.append(
                     _backbone_link(sender.technology, receiver.technology)
                 )
-        return links
+        return tuple(links)
 
     def _infra_covered(self, node: NetworkNode, interface: Interface) -> bool:
         """True when ``node`` has coverage for an infrastructure radio.
@@ -167,15 +276,28 @@ class Network:
         technology = interface.technology
         if technology.range_m <= 0 or node.fixed:
             return True
-        for other in self.nodes.values():
-            if other.id == node.id or not other.fixed or not other.up:
+        cacheable = self._registered(node)
+        if cacheable:
+            self._validate_caches()
+            key = (node.id, technology.name)
+            cached = self._coverage_cache.get(key)
+            if cached is not None:
+                return cached
+        covered = False
+        for other_id in self._grid.near(node.position, technology.range_m):
+            if other_id == node.id:
+                continue
+            other = self.nodes[other_id]
+            if not other.fixed or not other.up:
                 continue
             access_point = other.interfaces.get(technology.name)
             if access_point is None or not access_point.enabled:
                 continue
-            if node.position.distance_to(other.position) <= technology.range_m:
-                return True
-        return False
+            covered = True
+            break
+        if cacheable:
+            self._coverage_cache[key] = covered
+        return covered
 
     def best_link(
         self,
@@ -194,45 +316,115 @@ class Network:
 
     def neighbors(
         self, node: NetworkNode, technology: Optional[LinkTechnology] = None
-    ) -> List[NetworkNode]:
+    ) -> Tuple[NetworkNode, ...]:
         """Nodes reachable from ``node`` over *ad-hoc* radio right now.
 
         With ``technology`` given, restrict to that radio; otherwise any
-        shared ad-hoc technology counts.
+        shared ad-hoc technology counts.  Returns an immutable tuple in
+        node-registration order (the order the naive sweep produced).
         """
         if not node.up:
-            return []
-        neighbors = []
-        for other in self.nodes.values():
-            if other.id == node.id or not other.up:
+            return ()
+        cacheable = self._registered(node)
+        key = (node.id, technology.name if technology is not None else None)
+        if cacheable:
+            self._validate_caches()
+            cached = self._neighbors_cache.get(key)
+            if cached is not None:
+                self.cache_stats["hits"] += 1
+                return cached
+            self.cache_stats["misses"] += 1
+        # Any ad-hoc neighbour must sit within the longest usable ad-hoc
+        # range of this node, so a single grid ring bounds the sweep.
+        radius = -1.0
+        for iface in node.usable_interfaces():
+            tech = iface.technology
+            if not tech.is_adhoc:
                 continue
-            for link in self.links_between(node, other):
-                if link.via_backbone:
+            if technology is not None and tech.name != technology.name:
+                continue
+            if tech.range_m > radius:
+                radius = tech.range_m
+        found: List[NetworkNode] = []
+        if radius >= 0.0:
+            candidates = self._grid.near(node.position, radius)
+            candidates.sort(key=self._order.__getitem__)
+            for other_id in candidates:
+                if other_id == node.id:
                     continue
-                if technology is not None and (
-                    link.sender_technology.name != technology.name
-                ):
+                other = self.nodes[other_id]
+                if not other.up:
                     continue
-                neighbors.append(other)
-                break
-        return neighbors
+                for link in self.links_between(node, other):
+                    if link.via_backbone:
+                        continue
+                    if technology is not None and (
+                        link.sender_technology.name != technology.name
+                    ):
+                        continue
+                    found.append(other)
+                    break
+        result = tuple(found)
+        if cacheable:
+            self._neighbors_cache[key] = result
+        return result
 
-    def adjacency(self, adhoc_only: bool = False) -> Dict[str, Set[str]]:
-        """Snapshot of the connectivity graph as an adjacency mapping."""
-        ids = list(self.nodes)
-        graph: Dict[str, Set[str]] = {node_id: set() for node_id in ids}
-        for index, a_id in enumerate(ids):
-            for b_id in ids[index + 1 :]:
-                links = self.links_between(self.nodes[a_id], self.nodes[b_id])
-                if adhoc_only:
-                    links = [link for link in links if not link.via_backbone]
-                if links:
-                    graph[a_id].add(b_id)
-                    graph[b_id].add(a_id)
+    def adjacency(self, adhoc_only: bool = False) -> Dict[str, FrozenSet[str]]:
+        """Snapshot of the connectivity graph as an adjacency mapping.
+
+        The returned mapping is a cached, immutable-valued snapshot —
+        treat it as read-only.
+        """
+        self._validate_caches()
+        cached = self._adjacency_cache.get(adhoc_only)
+        if cached is not None:
+            self.cache_stats["hits"] += 1
+            return cached
+        self.cache_stats["misses"] += 1
+        sets: Dict[str, set] = {node_id: set() for node_id in self.nodes}
+        # Ad-hoc edges via per-node range queries (symmetric relation).
+        for node in self.nodes.values():
+            if not node.up:
+                continue
+            bucket = sets[node.id]
+            for other in self.neighbors(node):
+                bucket.add(other.id)
+        if not adhoc_only:
+            # Every pair of backbone-attached nodes connects: a clique.
+            attached = [
+                node
+                for node in self.nodes.values()
+                if node.up and self._has_backbone_access(node)
+            ]
+            for index, a in enumerate(attached):
+                a_bucket = sets[a.id]
+                for b in attached[index + 1 :]:
+                    a_bucket.add(b.id)
+                    sets[b.id].add(a.id)
+        graph = {
+            node_id: frozenset(neighbor_ids)
+            for node_id, neighbor_ids in sets.items()
+        }
+        self._adjacency_cache[adhoc_only] = graph
         return graph
 
-    def reachable_set(self, start_id: str, adhoc_only: bool = False) -> Set[str]:
+    def _has_backbone_access(self, node: NetworkNode) -> bool:
+        for iface in node.usable_interfaces():
+            if iface.technology.infrastructure and self._infra_covered(node, iface):
+                return True
+        return False
+
+    def reachable_set(
+        self, start_id: str, adhoc_only: bool = False
+    ) -> FrozenSet[str]:
         """Transitive closure of connectivity from ``start_id`` (BFS)."""
+        self._validate_caches()
+        key = (start_id, adhoc_only)
+        cached = self._reachable_cache.get(key)
+        if cached is not None:
+            self.cache_stats["hits"] += 1
+            return cached
+        self.cache_stats["misses"] += 1
         graph = self.adjacency(adhoc_only=adhoc_only)
         seen = {start_id}
         frontier = [start_id]
@@ -242,7 +434,9 @@ class Network:
                 if neighbor not in seen:
                     seen.add(neighbor)
                     frontier.append(neighbor)
-        return seen
+        result = frozenset(seen)
+        self._reachable_cache[key] = result
+        return result
 
     def shortest_path(
         self, source_id: str, target_id: str, adhoc_only: bool = False
@@ -250,11 +444,19 @@ class Network:
         """Hop-minimal node path from source to target, or None."""
         if source_id == target_id:
             return [source_id]
+        self._validate_caches()
+        key = (source_id, target_id, adhoc_only)
+        cached = self._path_cache.get(key, _MISSING)
+        if cached is not _MISSING:
+            self.cache_stats["hits"] += 1
+            return list(cached) if cached is not None else None  # type: ignore[arg-type]
+        self.cache_stats["misses"] += 1
         graph = self.adjacency(adhoc_only=adhoc_only)
         previous: Dict[str, str] = {}
         seen = {source_id}
         frontier = [source_id]
-        while frontier:
+        path: Optional[List[str]] = None
+        while frontier and path is None:
             next_frontier: List[str] = []
             for current in frontier:
                 for neighbor in sorted(graph.get(current, ())):
@@ -263,11 +465,19 @@ class Network:
                     seen.add(neighbor)
                     previous[neighbor] = current
                     if neighbor == target_id:
-                        path = [target_id]
-                        while path[-1] != source_id:
-                            path.append(previous[path[-1]])
-                        path.reverse()
-                        return path
+                        walk = [target_id]
+                        while walk[-1] != source_id:
+                            walk.append(previous[walk[-1]])
+                        walk.reverse()
+                        path = walk
+                        break
                     next_frontier.append(neighbor)
+                if path is not None:
+                    break
             frontier = next_frontier
-        return None
+        self._path_cache[key] = tuple(path) if path is not None else None
+        return path
+
+
+#: The ISSUE/design name for the simulated physical fabric.
+PhysicalNetwork = Network

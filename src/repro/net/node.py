@@ -52,6 +52,7 @@ class Interface:
             return 0.0
         self._attached = True
         self._attached_since = self.env.now
+        self.node._touch_topology()
         return self.technology.setup_s
 
     def detach(self) -> None:
@@ -61,14 +62,19 @@ class Interface:
         self._settle_airtime()
         self._attached = False
         self._attached_since = None
+        self.node._touch_topology()
 
     def disable(self) -> None:
         """Power the interface off (detaching first if needed)."""
         self.detach()
-        self.enabled = False
+        if self.enabled:
+            self.enabled = False
+            self.node._touch_topology()
 
     def enable(self) -> None:
-        self.enabled = True
+        if not self.enabled:
+            self.enabled = True
+            self.node._touch_topology()
 
     def _settle_airtime(self) -> None:
         if self._attached_since is not None:
@@ -122,8 +128,16 @@ class NetworkNode:
         self.costs = CostMeter()
         self.inbox: Store[Message] = Store(env)
         self.interfaces: Dict[str, Interface] = {}
+        #: Back-reference set by :meth:`Network.add_node`; lets state
+        #: changes bump the owning network's topology epoch.
+        self._network = None
         for tech in technologies:
             self.add_interface(tech)
+
+    def _touch_topology(self) -> None:
+        network = self._network
+        if network is not None:
+            network._topology_changed(self)
 
     def add_interface(self, technology: LinkTechnology) -> Interface:
         if technology.name in self.interfaces:
@@ -132,6 +146,8 @@ class NetworkNode:
             )
         interface = Interface(self.env, self, technology)
         self.interfaces[technology.name] = interface
+        if self._network is not None:
+            self._network._interface_added(self, technology)
         return interface
 
     def interface(self, technology_name: str) -> Interface:
@@ -147,15 +163,24 @@ class NetworkNode:
 
     def crash(self) -> None:
         """Take the node down; pending inbox content is lost."""
-        self.up = False
+        if self.up:
+            self.up = False
+            self._touch_topology()
         while self.inbox.try_get() is not None:
             pass
 
     def restart(self) -> None:
-        self.up = True
+        if not self.up:
+            self.up = True
+            self._touch_topology()
 
     def move_to(self, position: Position) -> None:
+        if position == self.position:
+            return
         self.position = position
+        network = self._network
+        if network is not None:
+            network._node_moved(self)
 
     def settle_airtime(self) -> None:
         """Bill all interfaces' accrued airtime (measurement point)."""

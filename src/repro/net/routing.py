@@ -4,17 +4,89 @@ Direct links only reach one hop; the router forwards a message along a
 BFS-shortest path, paying every hop's transmission time and loss.  It
 re-plans before each hop, so paths survive moderate mobility; it gives
 up when the destination becomes unreachable.
+
+Path planning goes through an epoch-memoised :class:`RoutingTable`:
+one BFS from a source yields the shortest-path tree to *every*
+destination, and the tree stays valid until the network's topology
+epoch moves.  Repeated sends between the same endpoints under a stable
+topology therefore skip BFS entirely, and a relay's per-hop re-plans
+reuse the trees built for earlier traffic.
 """
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import Dict, Generator, List, Optional, Tuple
 
 from ..errors import Unreachable
 from ..sim import Environment, Process
 from .message import Message
 from .network import Network
 from .transport import Transport
+
+
+class RoutingTable:
+    """Epoch-memoised shortest-path trees over one network.
+
+    ``path(source, target)`` is bit-identical to
+    :meth:`Network.shortest_path` (same BFS with sorted tie-breaking);
+    the difference is that one tree answers every target for its
+    source, and trees are cached against the topology epoch.
+    """
+
+    def __init__(self, network: Network, adhoc_only: bool = True) -> None:
+        self.network = network
+        self.adhoc_only = adhoc_only
+        self._epoch = -1
+        #: source id -> {discovered node -> its BFS predecessor}.
+        self._trees: Dict[str, Dict[str, str]] = {}
+        self.stats = {"hits": 0, "misses": 0}
+
+    def _tree(self, source_id: str) -> Dict[str, str]:
+        epoch = self.network.topology_epoch
+        if epoch != self._epoch:
+            self._trees.clear()
+            self._epoch = epoch
+        tree = self._trees.get(source_id)
+        if tree is not None:
+            self.stats["hits"] += 1
+            return tree
+        self.stats["misses"] += 1
+        graph = self.network.adjacency(adhoc_only=self.adhoc_only)
+        previous: Dict[str, str] = {}
+        seen = {source_id}
+        frontier = [source_id]
+        while frontier:
+            next_frontier: List[str] = []
+            for current in frontier:
+                for neighbor in sorted(graph.get(current, ())):
+                    if neighbor in seen:
+                        continue
+                    seen.add(neighbor)
+                    previous[neighbor] = current
+                    next_frontier.append(neighbor)
+            frontier = next_frontier
+        self._trees[source_id] = previous
+        return previous
+
+    def path(self, source_id: str, target_id: str) -> Optional[List[str]]:
+        """Hop-minimal path, or None when the target is unreachable."""
+        if source_id == target_id:
+            return [source_id]
+        tree = self._tree(source_id)
+        if target_id not in tree:
+            return None
+        walk = [target_id]
+        while walk[-1] != source_id:
+            walk.append(tree[walk[-1]])
+        walk.reverse()
+        return walk
+
+    def next_hop(self, source_id: str, target_id: str) -> Optional[str]:
+        """The first relay on the path, or None when unreachable."""
+        path = self.path(source_id, target_id)
+        if path is None or len(path) < 2:
+            return None
+        return path[1]
 
 
 class Router:
@@ -33,6 +105,7 @@ class Router:
         self.transport = transport
         self.adhoc_only = adhoc_only
         self.max_hops = max_hops
+        self.table = RoutingTable(network, adhoc_only=adhoc_only)
 
     def send_multihop(self, message: Message) -> Process:
         """Relay ``message`` towards its destination; resolves to the hop
@@ -52,9 +125,7 @@ class Router:
                 raise Unreachable(
                     f"gave up after {hops} hops towards {message.destination}"
                 )
-            path = self.network.shortest_path(
-                current, message.destination, adhoc_only=self.adhoc_only
-            )
+            path = self.table.path(current, message.destination)
             if path is None or len(path) < 2:
                 raise Unreachable(
                     f"no path from {current} to {message.destination}"

@@ -14,7 +14,7 @@ An event moves through three states:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
 from ..errors import SimulationError
 
@@ -32,7 +32,13 @@ class Event:
     Callbacks registered before processing run when the event fires;
     registering a callback on an already-processed event raises, because
     the moment has passed.
+
+    Events are the kernel's unit of allocation — simulations create
+    millions — so the class is slotted; subclasses that add state must
+    declare their own ``__slots__`` to keep the saving.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -115,6 +121,8 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` simulated seconds after creation."""
 
+    __slots__ = ("_delay",)
+
     def __init__(self, env: "Environment", delay: float, value: object = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
@@ -137,15 +145,17 @@ class Condition(Event):
     mapping each *fired* child event to its value, in firing order.
     """
 
+    __slots__ = ("_evaluate", "_events", "_fired", "_count")
+
     def __init__(
         self,
         env: "Environment",
-        evaluate: Callable[[List[Event], int], bool],
-        events: List[Event],
+        evaluate: Callable[[Sequence[Event], int], bool],
+        events: Sequence[Event],
     ) -> None:
         super().__init__(env)
         self._evaluate = evaluate
-        self._events = list(events)
+        self._events = tuple(events)
         self._fired: List[Event] = []
         self._count = 0
 
@@ -165,8 +175,9 @@ class Condition(Event):
                 event.add_callback(self._check)
 
     @property
-    def events(self) -> List[Event]:
-        return list(self._events)
+    def events(self) -> Tuple[Event, ...]:
+        """The child events (immutable view; no copy per access)."""
+        return self._events
 
     def _collect_values(self) -> dict:
         return {event: event.value for event in self._fired if event.ok}
@@ -187,15 +198,29 @@ class Condition(Event):
             self.succeed(self._collect_values())
 
 
+# Module-level evaluators: one shared function object instead of a fresh
+# closure allocated per condition instance.
+def _any_fired(events: Sequence[Event], count: int) -> bool:
+    return count >= 1
+
+
+def _all_fired(events: Sequence[Event], count: int) -> bool:
+    return count == len(events)
+
+
 class AnyOf(Condition):
     """Fires when the first of ``events`` fires."""
 
-    def __init__(self, env: "Environment", events: List[Event]) -> None:
-        super().__init__(env, lambda events, count: count >= 1, events)
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Sequence[Event]) -> None:
+        super().__init__(env, _any_fired, events)
 
 
 class AllOf(Condition):
     """Fires when every one of ``events`` has fired."""
 
-    def __init__(self, env: "Environment", events: List[Event]) -> None:
-        super().__init__(env, lambda events, count: count == len(events), events)
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Sequence[Event]) -> None:
+        super().__init__(env, _all_fired, events)

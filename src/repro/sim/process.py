@@ -16,6 +16,8 @@ ProcessGenerator = Generator[Event, object, object]
 class _InterruptEvent(Event):
     """Internal event used to deliver an interrupt to a process."""
 
+    __slots__ = ("process",)
+
     def __init__(self, env: "Environment", process: "Process", cause: object) -> None:
         super().__init__(env)
         self._ok = False
@@ -34,6 +36,8 @@ class Process(Event):
     generator raised.  Other processes may therefore ``yield`` a process
     to wait for its completion.
     """
+
+    __slots__ = ("_generator", "name", "_target")
 
     def __init__(self, env: "Environment", generator: ProcessGenerator, name: str = "") -> None:
         if not hasattr(generator, "throw"):

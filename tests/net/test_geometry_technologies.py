@@ -82,3 +82,60 @@ class TestTechnologies:
 
     def test_dialup_has_slow_setup(self):
         assert DIALUP.setup_s >= 10.0
+
+
+class TestSpatialGrid:
+    def _grid(self, cell=100.0):
+        from repro.net import SpatialGrid
+
+        return SpatialGrid(cell_size=cell)
+
+    def test_insert_and_range_query(self):
+        grid = self._grid()
+        grid.insert("a", Position(0, 0))
+        grid.insert("b", Position(50, 0))
+        grid.insert("c", Position(500, 0))
+        assert sorted(grid.near(Position(0, 0), 100.0)) == ["a", "b"]
+        assert sorted(grid.near(Position(0, 0), 1000.0)) == ["a", "b", "c"]
+
+    def test_query_radius_is_exact_not_cell_granular(self):
+        grid = self._grid(cell=100.0)
+        grid.insert("edge", Position(100.0, 0))
+        grid.insert("outside", Position(100.1, 0))
+        assert grid.near(Position(0, 0), 100.0) == ["edge"]
+
+    def test_move_rebuckets(self):
+        grid = self._grid()
+        grid.insert("a", Position(0, 0))
+        grid.move("a", Position(950, 950))
+        assert grid.near(Position(0, 0), 200.0) == []
+        assert grid.near(Position(1000, 1000), 200.0) == ["a"]
+
+    def test_remove(self):
+        grid = self._grid()
+        grid.insert("a", Position(10, 10))
+        assert "a" in grid and len(grid) == 1
+        grid.remove("a")
+        assert "a" not in grid and len(grid) == 0
+        assert grid.near(Position(10, 10), 50.0) == []
+        grid.remove("a")  # idempotent
+
+    def test_rebuild_preserves_items(self):
+        grid = self._grid(cell=10.0)
+        for index in range(20):
+            grid.insert(f"n{index}", Position(index * 7.0, index * 3.0))
+        grid.rebuild(150.0)
+        assert grid.cell_size == 150.0
+        assert len(grid) == 20
+        assert sorted(grid.near(Position(0, 0), 10_000.0)) == sorted(
+            f"n{index}" for index in range(20)
+        )
+
+    def test_negative_coordinates(self):
+        grid = self._grid()
+        grid.insert("neg", Position(-250.0, -50.0))
+        assert grid.near(Position(-200, 0), 100.0) == ["neg"]
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(ValueError):
+            self._grid(cell=0.0)

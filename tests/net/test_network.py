@@ -188,7 +188,7 @@ class TestGraphQueries:
         phone = network.add_node(mobile(env, "phone", techs=[GPRS]))
         network.add_node(server(env, "srv"))
         phone.interface("gprs").attach()
-        assert network.neighbors(phone) == []
+        assert network.neighbors(phone) == ()
 
     def test_adjacency_symmetric(self):
         env, network = make_network()
@@ -259,3 +259,88 @@ class TestAirtimeBilling:
         phone = network.add_node(mobile(env, "phone", techs=[GPRS]))
         assert phone.interface("gprs").attach() == GPRS.setup_s
         assert phone.interface("gprs").attach() == 0.0
+
+
+class TestTopologyEpoch:
+    def test_mutations_bump_epoch(self):
+        env, network = make_network()
+        a = network.add_node(mobile(env, "a", 0, 0))
+        network.add_node(mobile(env, "b", 50, 0, techs=[WIFI_ADHOC, GPRS]))
+        epoch = network.topology_epoch
+        a.move_to(Position(10, 0))
+        assert network.topology_epoch > epoch
+        epoch = network.topology_epoch
+        a.crash()
+        assert network.topology_epoch > epoch
+        epoch = network.topology_epoch
+        a.restart()
+        assert network.topology_epoch > epoch
+        epoch = network.topology_epoch
+        network.node("b").interface("gprs").attach()
+        assert network.topology_epoch > epoch
+        epoch = network.topology_epoch
+        network.node("b").interface("gprs").detach()
+        assert network.topology_epoch > epoch
+        epoch = network.topology_epoch
+        a.interface("802.11b-adhoc").disable()
+        assert network.topology_epoch > epoch
+        epoch = network.topology_epoch
+        a.interface("802.11b-adhoc").enable()
+        assert network.topology_epoch > epoch
+        epoch = network.topology_epoch
+        a.add_interface(GPRS)
+        assert network.topology_epoch > epoch
+
+    def test_noop_mutations_do_not_bump(self):
+        env, network = make_network()
+        a = network.add_node(mobile(env, "a", 5, 5))
+        epoch = network.topology_epoch
+        a.move_to(Position(5, 5))  # same place
+        a.restart()  # already up
+        a.interface("802.11b-adhoc").enable()  # already enabled
+        assert network.topology_epoch == epoch
+
+    def test_stable_epoch_reuses_cached_results(self):
+        env, network = make_network()
+        a = network.add_node(mobile(env, "a", 0, 0))
+        network.add_node(mobile(env, "b", 50, 0))
+        first = network.neighbors(a)
+        assert network.neighbors(a) is first
+        graph = network.adjacency()
+        assert network.adjacency() is graph
+        hits = network.cache_stats["hits"]
+        network.neighbors(a)
+        assert network.cache_stats["hits"] > hits
+
+    def test_move_invalidates_neighbors(self):
+        env, network = make_network()
+        a = network.add_node(mobile(env, "a", 0, 0))
+        b = network.add_node(mobile(env, "b", 50, 0))
+        assert [n.id for n in network.neighbors(a)] == ["b"]
+        b.move_to(Position(500, 0))
+        assert network.neighbors(a) == ()
+        b.move_to(Position(80, 0))
+        assert [n.id for n in network.neighbors(a)] == ["b"]
+
+    def test_unregistered_nodes_still_queryable(self):
+        env, network = make_network()
+        network.add_node(mobile(env, "a", 0, 0))
+        loose = mobile(env, "ghost", 10, 0)
+        links = network.links_between(network.node("a"), loose)
+        assert links and not links[0].via_backbone
+        # Loose nodes never pollute the pair cache.
+        assert ("a", "ghost") not in network._links_cache
+
+    def test_node_cannot_join_two_networks(self):
+        env, network = make_network()
+        other = Network(env)
+        a = network.add_node(mobile(env, "a"))
+        with pytest.raises(NetworkError):
+            other.add_node(a)
+
+    def test_cache_info_snapshot(self):
+        env, network = make_network()
+        network.add_node(mobile(env, "a", 0, 0))
+        info = network.cache_info()
+        assert info["epoch"] == float(network.topology_epoch)
+        assert {"hits", "misses", "invalidations", "grid_cell_m"} <= set(info)

@@ -1,0 +1,212 @@
+"""Cache-coherence property tests for the epoch-cached network fabric.
+
+The cached fast paths (spatial grid + topology-epoch caches) must be
+*bit-identical* to the naive O(N²) sweeps kept in
+:mod:`repro.net.reference`, no matter how mobility, churn, and
+interface toggles interleave with queries.  Queries run between
+mutations so the caches are populated, invalidated, and repopulated —
+the exact pattern a live simulation produces.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net import (
+    BLUETOOTH,
+    GPRS,
+    Network,
+    NetworkNode,
+    Position,
+    RoutingTable,
+    WIFI_ADHOC,
+    WIFI_INFRA,
+)
+from repro.net import reference as ref
+from repro.sim import Environment
+
+TECH_SETS = [
+    [WIFI_ADHOC],
+    [BLUETOOTH],
+    [WIFI_ADHOC, BLUETOOTH],
+    [GPRS],
+    [WIFI_ADHOC, GPRS],
+    [WIFI_INFRA],
+    [WIFI_ADHOC, WIFI_INFRA],
+]
+
+coordinate = st.floats(0, 400)
+
+#: (x, y, tech-set index, fixed, attach-infra)
+node_spec = st.tuples(
+    coordinate,
+    coordinate,
+    st.integers(0, len(TECH_SETS) - 1),
+    st.booleans(),
+    st.booleans(),
+)
+
+operation = st.one_of(
+    st.tuples(st.just("move"), st.integers(0, 9), coordinate, coordinate),
+    st.tuples(st.just("crash"), st.integers(0, 9)),
+    st.tuples(st.just("restart"), st.integers(0, 9)),
+    st.tuples(st.just("toggle"), st.integers(0, 9), st.integers(0, 3)),
+    st.tuples(st.just("attach"), st.integers(0, 9), st.integers(0, 3)),
+    st.tuples(st.just("detach"), st.integers(0, 9), st.integers(0, 3)),
+    st.tuples(st.just("add"), node_spec),
+)
+
+programs = st.tuples(
+    st.lists(node_spec, min_size=2, max_size=4),
+    st.lists(operation, min_size=1, max_size=8),
+)
+
+
+def _make_node(env, network, index, spec):
+    x, y, tech_index, fixed, attach = spec
+    node = NetworkNode(
+        env,
+        f"n{index}",
+        Position(x, y),
+        technologies=TECH_SETS[tech_index],
+        fixed=fixed,
+    )
+    network.add_node(node)
+    if attach:
+        for interface in node.interfaces.values():
+            if interface.technology.infrastructure:
+                interface.attach()
+    return node
+
+
+def _apply(env, network, nodes, op):
+    kind = op[0]
+    if kind == "add":
+        nodes.append(_make_node(env, network, len(nodes), op[1]))
+        return
+    node = nodes[op[1] % len(nodes)]
+    if kind == "move":
+        node.move_to(Position(op[2], op[3]))
+    elif kind == "crash":
+        node.crash()
+    elif kind == "restart":
+        node.restart()
+    else:
+        interfaces = list(node.interfaces.values())
+        interface = interfaces[op[2] % len(interfaces)]
+        if kind == "toggle":
+            if interface.enabled:
+                interface.disable()
+            else:
+                interface.enable()
+        elif kind == "attach" and interface.technology.infrastructure:
+            if interface.enabled:
+                interface.attach()
+        elif kind == "detach":
+            interface.detach()
+
+
+def _check_live_queries(network, nodes):
+    """The cheap per-step checks: adjacency and every neighbour list.
+
+    Each cached query runs twice, so both the miss path (fresh build)
+    and the hit path (epoch-validated reuse) are compared.
+    """
+    for adhoc_only in (True, False):
+        expected = ref.naive_adjacency(network, adhoc_only=adhoc_only)
+        for _attempt in range(2):
+            got = network.adjacency(adhoc_only=adhoc_only)
+            assert {k: set(v) for k, v in got.items()} == expected
+    for node in nodes:
+        expected_ids = [
+            other.id for other in ref.naive_neighbors(network, node)
+        ]
+        for _attempt in range(2):
+            assert [
+                other.id for other in network.neighbors(node)
+            ] == expected_ids
+
+
+def _check_full(network, nodes):
+    """The expensive end-of-program checks: every pairwise query."""
+    table = RoutingTable(network, adhoc_only=True)
+    for a in nodes:
+        for b in nodes:
+            if a.id == b.id:
+                continue
+            assert list(network.links_between(a, b)) == ref.naive_links_between(
+                network, a, b
+            )
+            for adhoc_only in (True, False):
+                expected_path = ref.naive_shortest_path(
+                    network, a.id, b.id, adhoc_only=adhoc_only
+                )
+                assert (
+                    network.shortest_path(a.id, b.id, adhoc_only=adhoc_only)
+                    == expected_path
+                )
+                # Second call serves from the path cache.
+                assert (
+                    network.shortest_path(a.id, b.id, adhoc_only=adhoc_only)
+                    == expected_path
+                )
+            # The routing table's tree-derived paths match the naive BFS
+            # bit for bit (same sorted tie-breaking).
+            assert table.path(a.id, b.id) == ref.naive_shortest_path(
+                network, a.id, b.id, adhoc_only=True
+            )
+    for node in nodes:
+        for adhoc_only in (True, False):
+            expected = ref.naive_reachable_set(
+                network, node.id, adhoc_only=adhoc_only
+            )
+            assert network.reachable_set(node.id, adhoc_only=adhoc_only) == expected
+
+
+class TestTopologyCacheCoherence:
+    @given(programs)
+    @settings(max_examples=500, deadline=None)
+    def test_cached_queries_match_naive_after_interleavings(self, program):
+        specs, operations = program
+        env = Environment()
+        network = Network(env)
+        nodes = [
+            _make_node(env, network, index, spec)
+            for index, spec in enumerate(specs)
+        ]
+        # Populate the caches before the first mutation.
+        _check_live_queries(network, nodes)
+        for op in operations:
+            _apply(env, network, nodes, op)
+            _check_live_queries(network, nodes)
+        _check_full(network, nodes)
+
+    @given(st.lists(node_spec, min_size=2, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_epoch_stability_means_identical_answers(self, specs):
+        env = Environment()
+        network = Network(env)
+        nodes = [
+            _make_node(env, network, index, spec)
+            for index, spec in enumerate(specs)
+        ]
+        epoch = network.topology_epoch
+        first = {node.id: network.neighbors(node) for node in nodes}
+        graph = network.adjacency()
+        # No mutations: the epoch must not move, and repeated queries
+        # must return the very same cached objects.
+        assert network.topology_epoch == epoch
+        for node in nodes:
+            assert network.neighbors(node) is first[node.id]
+        assert network.adjacency() is graph
+
+    @given(st.lists(node_spec, min_size=2, max_size=5), operation)
+    @settings(max_examples=120, deadline=None)
+    def test_any_single_mutation_invalidates_stale_answers(self, specs, op):
+        env = Environment()
+        network = Network(env)
+        nodes = [
+            _make_node(env, network, index, spec)
+            for index, spec in enumerate(specs)
+        ]
+        _check_live_queries(network, nodes)
+        _apply(env, network, nodes, op)
+        _check_live_queries(network, nodes)
