@@ -5,17 +5,38 @@ defined in DESIGN.md §3: it runs the sweep once (wrapped in
 ``benchmark.pedantic`` for a wall-clock row), prints the rendered
 table, writes it to ``benchmarks/results/``, and asserts the expected
 qualitative shape.
+
+Two longitudinal mechanisms live here (see docs/OBSERVABILITY.md,
+"Comparing runs"):
+
+* **Trajectory store** — every report write also appends one JSONL
+  entry (git SHA, timestamp, numeric metrics) to
+  ``benchmarks/results/trajectory.jsonl``, so the perf history of the
+  repository is a greppable, diffable log;
+* **Baseline gate** — ``gate_against_baseline`` compares a fresh
+  report against the checked-in floor document under
+  ``benchmarks/baselines/`` with ``repro.obs.diff`` (direction-aware,
+  relative thresholds), replacing per-script hand-rolled floor
+  asserts.  CI runs the same comparison via ``python -m repro
+  compare --fail-on regress``.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import subprocess
+import time
 from typing import Generator, Optional
 
 from repro.core import World
 from repro.obs import RunReport, SimProfiler
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+BASELINES_DIR = os.path.join(os.path.dirname(__file__), "baselines")
+TRAJECTORY_PATH = os.path.join(RESULTS_DIR, "trajectory.jsonl")
+
+_git_sha_cache: Optional[str] = None
 
 
 def quick() -> bool:
@@ -33,16 +54,122 @@ def run_process(world: World, generator: Generator):
     return world.run(until=process)
 
 
-def instrument(world: World) -> SimProfiler:
+def instrument(
+    world: World,
+    series_cadence: Optional[float] = None,
+    series_capacity: int = 256,
+) -> SimProfiler:
     """Switch on full observability for ``world``; returns the profiler.
 
     Enables the trace log and span tracer (normally off in benchmark
     worlds) and attaches a :class:`SimProfiler` to the kernel so the
-    run report carries a profile section.
+    run report carries a profile section.  With ``series_cadence`` set,
+    additionally attaches a :class:`~repro.obs.TimeSeriesRecorder` at
+    that sim-time cadence (ring-capped at ``series_capacity`` points
+    per series), so the report carries per-epoch ``series`` too.
     """
     world.trace.enabled = True
     world.tracer.enabled = True
+    if series_cadence is not None:
+        world.sample_series(cadence=series_cadence, capacity=series_capacity)
     return world.profile()
+
+
+def git_sha() -> str:
+    """The current commit's short SHA ("unknown" outside a checkout)."""
+    global _git_sha_cache
+    if _git_sha_cache is None:
+        try:
+            _git_sha_cache = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=os.path.dirname(os.path.abspath(__file__)),
+                capture_output=True,
+                text=True,
+                timeout=10,
+                check=True,
+            ).stdout.strip() or "unknown"
+        except Exception:
+            _git_sha_cache = "unknown"
+    return _git_sha_cache
+
+
+def append_trajectory(
+    name: str,
+    metrics: dict,
+    params: Optional[dict] = None,
+) -> str:
+    """Append one run's key figures to the benchmark trajectory log.
+
+    The log is append-only JSONL — one self-contained entry per run
+    (benchmark name, git SHA, wall-clock timestamp, quick flag, every
+    numeric metric) — and is committed, so successive PRs accumulate a
+    machine-readable perf history that ``repro compare`` can diff.
+    """
+    entry = {
+        "name": name,
+        "sha": git_sha(),
+        "timestamp": time.time(),
+        "quick": quick(),
+        "params": params or {},
+        "metrics": {
+            key: float(value)
+            for key, value in sorted(metrics.items())
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        },
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(TRAJECTORY_PATH, "a") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return TRAJECTORY_PATH
+
+
+def baseline_path(name: str) -> str:
+    """The checked-in baseline for ``name`` (quick variant preferred
+    in quick mode when one exists)."""
+    if quick():
+        candidate = os.path.join(BASELINES_DIR, f"{name}_quick.json")
+        if os.path.isfile(candidate):
+            return candidate
+    return os.path.join(BASELINES_DIR, f"{name}.json")
+
+
+def gate_against_baseline(
+    name: str,
+    report_path: Optional[str] = None,
+    threshold: float = 0.0,
+    overrides: Optional[dict] = None,
+):
+    """The shared benchmark regression gate.
+
+    Diffs the freshly written report against the committed floor
+    baseline (``benchmarks/baselines/<name>[_quick].json``) with the
+    direction registry, and fails the test on any regression past
+    ``threshold``.  Returns the :class:`~repro.obs.diff.ReportDiff` so
+    callers can print or inspect it.  The baselines hold *floor*
+    values (e.g. ``speedup: 5.0``), so with the default threshold 0.0
+    this is exactly "never worse than the floor" — one mechanism for
+    every bench, and the same one CI drives via ``python -m repro
+    compare --fail-on regress``.
+    """
+    from repro.obs.diff import diff_report_files
+
+    base = baseline_path(name)
+    if not os.path.isfile(base):
+        raise FileNotFoundError(
+            f"no baseline for {name!r} under benchmarks/baselines/ — "
+            "commit one before gating on it"
+        )
+    if report_path is None:
+        report_path = os.path.join(RESULTS_DIR, f"{name}.json")
+    diff = diff_report_files(
+        base, report_path, threshold=threshold, overrides=overrides
+    )
+    if diff.regressions:
+        raise AssertionError(
+            f"regression against baseline {os.path.basename(base)}:\n\n"
+            + diff.render()
+        )
+    return diff
 
 
 def write_report(
@@ -54,8 +181,10 @@ def write_report(
     """Capture a RunReport for ``world`` and write it as JSON.
 
     The file lands at ``benchmarks/results/<name>.json`` — the
-    machine-readable sibling of the rendered ``.txt`` table.  Render
-    it later with ``python -m repro report <name>``.
+    machine-readable sibling of the rendered ``.txt`` table — and the
+    run is appended to the trajectory log.  Render it later with
+    ``python -m repro report <name>``, or diff two runs with
+    ``python -m repro compare``.
     """
     if profiler is not None and profiler.attached:
         profiler.detach()
@@ -63,6 +192,7 @@ def write_report(
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.json")
     report.write(path)
+    append_trajectory(name, report.metrics, params=params)
     return path
 
 
@@ -76,6 +206,7 @@ def write_report_data(
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.json")
     report.write(path)
+    append_trajectory(name, report.metrics, params=params)
     return path
 
 

@@ -19,7 +19,7 @@ from repro.obs import SpanTracer
 from repro.sim import AllOf, AnyOf, Environment, Event
 from repro.sim.metrics import Histogram
 
-from _common import instrument, write_report
+from _common import gate_against_baseline, instrument, write_report, write_report_data
 
 
 def test_kernel_event_throughput(benchmark):
@@ -133,11 +133,12 @@ def test_agent_migration_rate(benchmark):
 
 
 def test_histogram_observe_scaling(benchmark):
-    """Append-only observe must beat insort-per-observe >=10x at 100k.
+    """Append-only observe must beat insort-per-observe at 100k.
 
     Guards the O(1) Histogram.observe: the old implementation kept the
     sample list sorted with ``insort`` on every observation, which is
-    O(n) per sample and quadratic over a run.
+    O(n) per sample and quadratic over a run.  The >=10x floor lives in
+    ``benchmarks/baselines/micro_kernel_hist.json``.
     """
     count = 100_000
     # Deterministic pseudo-random values (Knuth multiplicative hash).
@@ -164,7 +165,16 @@ def test_histogram_observe_scaling(benchmark):
     speedup = insort_seconds / lazy_seconds
     print(f"\nhistogram observe: lazy {lazy_seconds:.3f}s vs "
           f"insort {insort_seconds:.3f}s ({speedup:.1f}x)")
-    assert speedup >= 10.0, f"lazy histogram only {speedup:.1f}x faster"
+    path = write_report_data(
+        "micro_kernel_hist",
+        metrics={
+            "samples": float(count),
+            "lazy_seconds": lazy_seconds,
+            "insort_seconds": insort_seconds,
+            "speedup": speedup,
+        },
+    )
+    gate_against_baseline("micro_kernel_hist", path)
     benchmark(lazy)
 
 
@@ -174,7 +184,8 @@ def test_disabled_tracing_overhead(benchmark):
     Times 100k start/finish pairs on a disabled tracer against 10k
     kernel timeout events (the event-throughput workload above, which
     runs with tracing off).  A lenient 2x margin on the 5% target keeps
-    the guard flake-resistant on loaded machines.
+    the guard flake-resistant on loaded machines; the 0.10 ceiling is
+    the ``micro_kernel_tracing`` baseline document.
     """
     tracer = SpanTracer(now=lambda: 0.0, enabled=False)
 
@@ -205,7 +216,15 @@ def test_disabled_tracing_overhead(benchmark):
     ratio = per_span / per_event
     print(f"\ndisabled span pair {per_span * 1e9:.0f}ns vs kernel event "
           f"{per_event * 1e9:.0f}ns ({ratio * 100:.1f}%)")
-    assert ratio < 0.10, f"disabled tracing costs {ratio * 100:.1f}% per event"
+    path = write_report_data(
+        "micro_kernel_tracing",
+        metrics={
+            "span_pair_nanos": per_span * 1e9,
+            "kernel_event_nanos": per_event * 1e9,
+            "overhead_ratio": ratio,
+        },
+    )
+    gate_against_baseline("micro_kernel_tracing", path)
     benchmark(disabled_spans)
 
 
@@ -258,7 +277,7 @@ def test_micro_report(benchmark):
 
     def run_instrumented():
         world, a, b = _message_world()
-        profiler = instrument(world)
+        profiler = instrument(world, series_cadence=1.0)
         b.register_service("echo", lambda args, host: (args, 32))
 
         def go():

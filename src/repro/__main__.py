@@ -6,8 +6,11 @@ Commands:
 * ``demo``    — run the quickstart scenario inline (all four paradigms);
 * ``assess``  — print a design-time paradigm assessment for a task
   described by flags;
-* ``report``  — render a machine-readable run report (the JSON files
-  the benchmarks write under ``benchmarks/results/``).
+* ``report``  — list or render machine-readable run reports (the JSON
+  files the benchmarks write under ``benchmarks/results/``);
+* ``compare`` — diff two run reports metric by metric with
+  higher/lower-is-better direction annotations; ``--fail-on regress``
+  exits 1 on a regression past the threshold (the benchmark gate).
 """
 
 from __future__ import annotations
@@ -134,10 +137,75 @@ def _cmd_report(args: argparse.Namespace) -> int:
         return 0
     path = _find_report(args.name)
     if path is None:
-        print(f"no report named {args.name!r} under benchmarks/results/")
+        print(
+            f"error: no report named {args.name!r} — not a file, and not "
+            "found under benchmarks/results/ (run a benchmark first, or "
+            "list reports with: python -m repro report)",
+            file=sys.stderr,
+        )
         return 1
-    report = RunReport.load(path)
+    from repro.obs import ReportSchemaError
+
+    try:
+        report = RunReport.load_checked(path)
+    except ReportSchemaError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     print(report.render(top=args.top))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.obs import ReportSchemaError
+    from repro.obs.diff import diff_report_files
+
+    overrides = {}
+    for spec in args.direction or ():
+        name, _, direction = spec.partition("=")
+        if direction not in ("higher", "lower", "neutral"):
+            print(
+                f"error: bad --direction {spec!r} "
+                "(want NAME=higher|lower|neutral)",
+                file=sys.stderr,
+            )
+            return 2
+        overrides[name] = None if direction == "neutral" else direction
+
+    paths = []
+    for name in (args.base, args.new):
+        path = _find_report(name)
+        if path is None:
+            print(
+                f"error: no report named {name!r} — not a file, and not "
+                "found under benchmarks/results/",
+                file=sys.stderr,
+            )
+            return 1
+        paths.append(path)
+    try:
+        diff = diff_report_files(
+            paths[0], paths[1],
+            threshold=args.threshold,
+            overrides=overrides or None,
+        )
+    except ReportSchemaError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(diff.to_json() + "\n")
+    if args.json:
+        print(diff.to_json())
+    else:
+        print(diff.render(all_metrics=args.all))
+    if args.fail_on == "regress" and diff.regressions:
+        return 1
+    if args.fail_on == "change" and (
+        diff.regressions
+        or diff.improvements
+        or any(d.verdict == "changed" for d in diff.deltas)
+    ):
+        return 1
     return 0
 
 
@@ -184,6 +252,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="rows per table in the rendered report",
     )
     report_cmd.set_defaults(handler=_cmd_report)
+
+    compare_cmd = subparsers.add_parser(
+        "compare",
+        help="diff two run reports; optionally fail on regressions",
+        description=(
+            "Compare the metrics of two run reports (names or paths; "
+            "names resolve under benchmarks/results/).  Each shared "
+            "metric is annotated with its direction (higher/lower is "
+            "better, from the repro.obs.diff registry) and judged "
+            "improved / regressed / unchanged against the relative "
+            "threshold.  Exit codes: 0 ok, 1 regression (with "
+            "--fail-on) or unreadable input, 2 usage error."
+        ),
+    )
+    compare_cmd.add_argument("base", help="baseline report name or path")
+    compare_cmd.add_argument("new", help="candidate report name or path")
+    compare_cmd.add_argument(
+        "--threshold",
+        type=float,
+        default=0.05,
+        help="relative change below this fraction is 'unchanged' "
+        "(default 0.05)",
+    )
+    compare_cmd.add_argument(
+        "--fail-on",
+        choices=["regress", "change"],
+        default=None,
+        help="exit 1 when a directional metric regresses past the "
+        "threshold ('regress'), or on any thresholded change ('change')",
+    )
+    compare_cmd.add_argument(
+        "--direction",
+        action="append",
+        metavar="NAME=higher|lower|neutral",
+        help="override the direction registry for one metric "
+        "(repeatable)",
+    )
+    compare_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable verdict instead of tables",
+    )
+    compare_cmd.add_argument(
+        "--out",
+        default=None,
+        help="also write the JSON verdict to this path (CI artifact)",
+    )
+    compare_cmd.add_argument(
+        "--all",
+        action="store_true",
+        help="show unchanged metrics too in the rendered table",
+    )
+    compare_cmd.set_defaults(handler=_cmd_compare)
     return parser
 
 

@@ -19,7 +19,7 @@ from ..net import (
     Transport,
     LinkTechnology,
 )
-from ..obs import SimProfiler, SpanTracer
+from ..obs import SimProfiler, SpanTracer, TimeSeriesRecorder
 from ..sim import Environment, MetricsRegistry, RandomStreams, TraceLog
 
 
@@ -54,10 +54,44 @@ class World:
             metrics=self.metrics,
             tracer=self.tracer,
         )
+        #: Optional cadence sampler (see :meth:`sample_series`); when
+        #: set, ``RunReport.capture`` emits its points as ``series``.
+        self.timeseries: _Optional[TimeSeriesRecorder] = None
 
     def profile(self) -> SimProfiler:
         """Attach (and return) a fresh kernel profiler for this world."""
         return SimProfiler().attach(self.env)
+
+    def sample_series(
+        self,
+        cadence: float = 1.0,
+        capacity: int = 1024,
+        names: Optional[Iterable[str]] = None,
+        histogram_stats: Iterable[str] = ("p50", "p99"),
+    ) -> TimeSeriesRecorder:
+        """Attach (and return) a sim-time metrics sampler.
+
+        Every ``cadence`` simulated seconds the recorder sweeps
+        ``world.metrics`` into ring-buffered (time, value) series —
+        counters/gauges by value, histograms by windowed quantiles —
+        which ``RunReport.capture`` then carries under ``series``.
+        """
+        def topo_probe() -> dict:
+            return {
+                f"net.topo.{key}": value
+                for key, value in self.network.cache_info().items()
+            }
+
+        recorder = TimeSeriesRecorder(
+            self.metrics,
+            cadence=cadence,
+            capacity=capacity,
+            names=list(names) if names is not None else None,
+            histogram_stats=tuple(histogram_stats),
+            extra_probe=topo_probe,
+        )
+        self.timeseries = recorder.attach(self.env)
+        return recorder
 
     @property
     def now(self) -> float:

@@ -10,7 +10,12 @@ first-class subsystem:
 * :mod:`repro.obs.exporters` — JSONL trace/span dumps and
   Prometheus-style metric text;
 * :mod:`repro.obs.report`    — :class:`RunReport`, the versioned JSON
-  document every benchmark writes to ``benchmarks/results/``.
+  document every benchmark writes to ``benchmarks/results/``;
+* :mod:`repro.obs.timeseries`— :class:`TimeSeriesRecorder`, sim-time
+  cadence sampling of the metrics registry into bounded series;
+* :mod:`repro.obs.diff`      — cross-run report diffing with a
+  higher/lower-is-better direction registry (``python -m repro
+  compare``, the benchmark regression gate).
 
 See ``docs/OBSERVABILITY.md`` for the span model and the
 ``subsystem.metric`` naming scheme.
@@ -26,8 +31,17 @@ from .exporters import (
     trace_to_jsonl,
     write_text,
 )
+from .diff import (
+    DEFAULT_DIRECTIONS,
+    MetricDelta,
+    ReportDiff,
+    diff_report_files,
+    diff_reports,
+    direction_of,
+)
 from .profiler import SimProfiler
-from .report import RunReport, SCHEMA_KEYS, SCHEMA_VERSION
+from .report import ReportSchemaError, RunReport, SCHEMA_KEYS, SCHEMA_VERSION
+from .timeseries import TimeSeriesRecorder
 from .spans import (
     NOOP_SPAN,
     STATUS_ERROR,
@@ -39,7 +53,11 @@ from .spans import (
 )
 
 __all__ = [
+    "DEFAULT_DIRECTIONS",
+    "MetricDelta",
     "NOOP_SPAN",
+    "ReportDiff",
+    "ReportSchemaError",
     "RunReport",
     "SCHEMA_KEYS",
     "SCHEMA_VERSION",
@@ -49,7 +67,11 @@ __all__ = [
     "Span",
     "SpanTracer",
     "SpanTree",
+    "TimeSeriesRecorder",
     "build_trees",
+    "diff_report_files",
+    "diff_reports",
+    "direction_of",
     "metrics_to_prometheus",
     "parse_prometheus",
     "sanitize_metric_name",

@@ -24,7 +24,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .profiler import SimProfiler
 
 #: Bump on any backwards-incompatible change to the report layout.
-SCHEMA_VERSION = 1
+#: v2 added the ``series`` section (sim-time samples from
+#: :class:`~repro.obs.timeseries.TimeSeriesRecorder`); v1 reports load
+#: fine — their ``series`` is simply ``None``.
+SCHEMA_VERSION = 2
 
 #: Top-level keys every report carries, in schema order.
 SCHEMA_KEYS = (
@@ -37,7 +40,12 @@ SCHEMA_KEYS = (
     "kind_counts",
     "profile",
     "spans",
+    "series",
 )
+
+
+class ReportSchemaError(ValueError):
+    """A JSON document that is not a readable run report."""
 
 
 class RunReport:
@@ -52,6 +60,7 @@ class RunReport:
         kind_counts: Optional[Dict[str, int]] = None,
         profile: Optional[Dict[str, object]] = None,
         spans: Optional[List[Dict[str, object]]] = None,
+        series: Optional[Dict[str, object]] = None,
         created_at: Optional[float] = None,
         schema: int = SCHEMA_VERSION,
     ) -> None:
@@ -64,6 +73,7 @@ class RunReport:
         self.kind_counts = kind_counts or {}
         self.profile = profile
         self.spans = spans or []
+        self.series = series
 
     # -- capture -----------------------------------------------------------
 
@@ -88,6 +98,11 @@ class RunReport:
         }
         kind_counts = dict(world.trace._kind_counts)
         spans = [span.to_dict() for span in world.tracer.finished_spans()]
+        recorder = getattr(world, "timeseries", None)
+        if recorder is not None and recorder.enabled:
+            # Terminal sweep: the state at end-of-run is always the last
+            # point, even when the run ended between cadence boundaries.
+            recorder.sample(world.env.now)
         return cls(
             name=name,
             env=env,
@@ -96,6 +111,7 @@ class RunReport:
             kind_counts=kind_counts,
             profile=profiler.as_dict() if profiler is not None else None,
             spans=spans,
+            series=recorder.as_dict() if recorder is not None else None,
         )
 
     # -- (de)serialisation ---------------------------------------------------
@@ -111,6 +127,7 @@ class RunReport:
             "kind_counts": self.kind_counts,
             "profile": self.profile,
             "spans": self.spans,
+            "series": self.series,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -126,6 +143,7 @@ class RunReport:
             kind_counts=dict(data.get("kind_counts") or {}),  # type: ignore[arg-type]
             profile=data.get("profile"),  # type: ignore[arg-type]
             spans=list(data.get("spans") or []),  # type: ignore[arg-type]
+            series=data.get("series"),  # type: ignore[arg-type]
             created_at=float(data.get("created_at", 0.0)),  # type: ignore[arg-type]
             schema=int(data.get("schema", SCHEMA_VERSION)),  # type: ignore[arg-type]
         )
@@ -138,6 +156,46 @@ class RunReport:
     def load(cls, path: str) -> "RunReport":
         with open(path) as handle:
             return cls.from_json(handle.read())
+
+    @staticmethod
+    def validate(data: object) -> Dict[str, object]:
+        """Check that ``data`` is a readable report document.
+
+        Returns the dict on success; raises :class:`ReportSchemaError`
+        with a one-line human explanation otherwise (the CLI turns this
+        into a clean non-zero exit instead of a traceback).
+        """
+        if not isinstance(data, dict):
+            raise ReportSchemaError(
+                f"expected a JSON object, got {type(data).__name__}"
+            )
+        schema = data.get("schema")
+        if not isinstance(schema, int) or isinstance(schema, bool):
+            raise ReportSchemaError(
+                "missing or non-integer 'schema' field — not a run report"
+            )
+        if schema > SCHEMA_VERSION:
+            raise ReportSchemaError(
+                f"report schema v{schema} is newer than this code "
+                f"(supports up to v{SCHEMA_VERSION}) — upgrade repro"
+            )
+        metrics = data.get("metrics")
+        if metrics is not None and not isinstance(metrics, dict):
+            raise ReportSchemaError("'metrics' must be an object")
+        return data
+
+    @classmethod
+    def load_checked(cls, path: str) -> "RunReport":
+        """Load ``path``, raising :class:`ReportSchemaError` on any
+        unreadable or schema-mismatched document."""
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except OSError as error:
+            raise ReportSchemaError(f"cannot read {path}: {error}")
+        except json.JSONDecodeError as error:
+            raise ReportSchemaError(f"{path} is not valid JSON: {error}")
+        return cls.from_dict(cls.validate(data))
 
     def write(self, path: str) -> str:
         with open(path, "w") as handle:
@@ -215,6 +273,21 @@ class RunReport:
                         event_rows,
                     )
                 )
+        if self.series and self.series.get("series"):
+            table = self.series["series"]
+            series_rows = []
+            for series_name in sorted(table)[:top]:
+                values = table[series_name].get("values", [])
+                last = values[-1] if values else 0.0
+                series_rows.append([series_name, len(values), last])
+            parts.append(
+                render_table(
+                    f"time series (cadence {self.series.get('cadence')}s, "
+                    f"{self.series.get('samples')} sweeps)",
+                    ["series", "points", "last"],
+                    series_rows,
+                )
+            )
         trees = self.span_trees()
         if trees:
             complete = sum(1 for tree in trees if tree.complete())

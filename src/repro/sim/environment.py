@@ -34,6 +34,10 @@ class Environment:
         #: Attachment point for :class:`repro.obs.SimProfiler`; when
         #: None (the default) the kernel pays one check per step.
         self._profiler: Optional[object] = None
+        #: Attachment point for :class:`repro.obs.TimeSeriesRecorder`
+        #: (same contract: one ``is not None`` check per step when
+        #: detached; ``on_step(now)`` after each event otherwise).
+        self._sampler: Optional[object] = None
 
     def __repr__(self) -> str:
         return f"<Environment now={self._now:.6g} pending={len(self._queue)}>"
@@ -105,6 +109,11 @@ class Environment:
                 profiler.record_callback(event, callback, elapsed)  # type: ignore[attr-defined]
                 total += elapsed
             profiler.record_event(event, total)  # type: ignore[attr-defined]
+        sampler = self._sampler
+        if sampler is not None:
+            # After the callbacks so a sample at time t reflects every
+            # metric update the events at t produced.
+            sampler.on_step(when)  # type: ignore[attr-defined]
         if not event._ok and not event._defused:
             # A failure nobody consumed: surface it rather than losing it.
             raise event._value  # type: ignore[misc]

@@ -14,7 +14,25 @@ registry to a flat dict for table output and assertions in tests.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def interpolated_quantile(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolated quantile ``q`` in [0, 1] of a sorted sequence."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile {q} outside [0, 1]")
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(math.floor(position))
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    low_value = ordered[low]
+    high_value = ordered[high]
+    # a + (b-a)*f keeps the result inside [a, b] under rounding.
+    return low_value + (high_value - low_value) * fraction
 
 
 class Counter:
@@ -34,18 +52,28 @@ class Counter:
 
 
 class Gauge:
-    """The most recently written value."""
+    """The most recently written value.
+
+    Every written value is also kept (append-only, sorted lazily on the
+    first quantile query, exactly like :class:`Histogram`), so the
+    distribution of a gauge over a run — notably its median, ``p50`` —
+    is available next to the min/max extremes.
+    """
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: float = 0.0
         self._max = -math.inf
         self._min = math.inf
+        self._written: List[float] = []
+        self._dirty = False
 
     def set(self, value: float) -> None:
         self.value = value
         self._max = max(self._max, value)
         self._min = min(self._min, value)
+        self._written.append(value)
+        self._dirty = True
 
     def add(self, delta: float) -> None:
         self.set(self.value + delta)
@@ -65,6 +93,18 @@ class Gauge:
         """True once ``set``/``add`` has been called at least once."""
         return self._max != -math.inf
 
+    def quantile(self, q: float) -> float:
+        """Quantile ``q`` over every value ever written (0.0 if none)."""
+        if self._dirty:
+            self._written.sort()
+            self._dirty = False
+        return interpolated_quantile(self._written, q)
+
+    @property
+    def p50(self) -> float:
+        """Median of every value ever written (0.0 for a never-set gauge)."""
+        return self.quantile(0.5)
+
     def __repr__(self) -> str:
         return f"<Gauge {self.name}={self.value:g}>"
 
@@ -72,15 +112,19 @@ class Gauge:
 class Histogram:
     """A distribution of samples with mean and quantile queries.
 
-    ``observe`` is O(1): samples go into an append-only buffer that is
-    sorted lazily on the first quantile/min/max query after new data
-    (hot paths observe millions of samples; quantiles are read once at
-    the end of a run).
+    ``observe`` is O(1): samples go into an append-only buffer; a
+    *sorted copy* is built lazily on the first quantile/min/max query
+    after new data (hot paths observe millions of samples; quantiles
+    are read once at the end of a run).  The observation buffer itself
+    is never reordered, so :meth:`samples_since` can hand out stable
+    insertion-order windows — what the time-series recorder uses for
+    windowed per-cadence quantiles.
     """
 
     def __init__(self, name: str) -> None:
         self.name = name
         self._samples: List[float] = []
+        self._sorted: List[float] = []
         self._dirty = False
         self._sum = 0.0
 
@@ -91,9 +135,13 @@ class Histogram:
 
     def _ordered(self) -> List[float]:
         if self._dirty:
-            self._samples.sort()
+            self._sorted = sorted(self._samples)
             self._dirty = False
-        return self._samples
+        return self._sorted
+
+    def samples_since(self, index: int) -> List[float]:
+        """Samples observed after the first ``index``, insertion order."""
+        return self._samples[index:]
 
     @property
     def count(self) -> int:
@@ -109,25 +157,14 @@ class Histogram:
 
     def quantile(self, q: float) -> float:
         """Linear-interpolated quantile ``q`` in [0, 1]."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile {q} outside [0, 1]")
-        ordered = self._ordered()
-        if not ordered:
-            return 0.0
-        if len(ordered) == 1:
-            return ordered[0]
-        position = q * (len(ordered) - 1)
-        low = int(math.floor(position))
-        high = min(low + 1, len(ordered) - 1)
-        fraction = position - low
-        low_value = ordered[low]
-        high_value = ordered[high]
-        # a + (b-a)*f keeps the result inside [a, b] under rounding.
-        return low_value + (high_value - low_value) * fraction
+        return interpolated_quantile(self._ordered(), q)
 
     @property
     def median(self) -> float:
         return self.quantile(0.5)
+
+    #: ``p50`` is the naming used in snapshots (p50/p95/p99 family).
+    p50 = median
 
     @property
     def p95(self) -> float:
@@ -218,12 +255,16 @@ class MetricsRegistry:
             # Sane (0.0, never ±inf) even for never-set gauges.
             snapshot[f"{name}.min"] = gauge.min
             snapshot[f"{name}.max"] = gauge.max
+            snapshot[f"{name}.p50"] = gauge.p50
         for name, histogram in self._histograms.items():
             snapshot[f"{name}.count"] = float(histogram.count)
             snapshot[f"{name}.mean"] = histogram.mean
             snapshot[f"{name}.median"] = histogram.median
+            snapshot[f"{name}.p50"] = histogram.p50
             snapshot[f"{name}.p95"] = histogram.p95
             snapshot[f"{name}.p99"] = histogram.p99
+            snapshot[f"{name}.min"] = histogram.min
+            snapshot[f"{name}.max"] = histogram.max
         for name, series in self._series.items():
             last = series.last()
             snapshot[f"{name}.last"] = last[1] if last else 0.0

@@ -41,6 +41,7 @@ class TestSchema:
             "kind_counts",
             "profile",
             "spans",
+            "series",
         )
 
     def test_report_dict_matches_schema(self):

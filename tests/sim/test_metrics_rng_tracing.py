@@ -42,6 +42,20 @@ class TestGauge:
         assert gauge.min == -3
         assert gauge.max == -3
 
+    def test_p50_is_median_of_written_values(self):
+        gauge = Gauge("depth")
+        for value in [9.0, 1.0, 5.0]:
+            gauge.set(value)
+        assert gauge.p50 == 5.0
+        gauge.set(2.0)
+        gauge.set(3.0)  # history [1, 2, 3, 5, 9]
+        assert gauge.p50 == 3.0
+        assert gauge.quantile(0.0) == 1.0
+        assert gauge.quantile(1.0) == 9.0
+
+    def test_p50_of_never_set_gauge_is_zero(self):
+        assert Gauge("depth").p50 == 0.0
+
 
 class TestHistogram:
     def test_mean_and_quantiles(self):
@@ -86,6 +100,24 @@ class TestHistogram:
         assert histogram.min == 0.5
         assert histogram.max == 5.0
         assert histogram.median == 1.0
+
+    def test_p50_aliases_median(self):
+        histogram = Histogram("x")
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            histogram.observe(value)
+        assert histogram.p50 == histogram.median == 2.5
+
+    def test_observation_order_survives_quantile_queries(self):
+        # samples_since hands out insertion-order windows; the lazy
+        # sorted copy must never reorder the observation buffer.
+        histogram = Histogram("x")
+        histogram.observe(5.0)
+        histogram.observe(1.0)
+        assert histogram.median == 3.0  # forces a sort
+        histogram.observe(2.0)
+        assert histogram.samples_since(0) == [5.0, 1.0, 2.0]
+        assert histogram.samples_since(2) == [2.0]
+        assert histogram.samples_since(3) == []
 
 
 class TestTimeSeries:
@@ -144,6 +176,19 @@ class TestRegistry:
         assert snapshot["depth.min"] == 1.0
         assert snapshot["depth.max"] == 4.0
         assert snapshot["lat.p99"] == 99.01
+
+    def test_snapshot_exposes_p50_and_extremes(self):
+        registry = MetricsRegistry()
+        for value in (4.0, 1.0, 2.0):
+            registry.gauge("depth").set(value)
+        for value in range(1, 101):
+            registry.histogram("lat").observe(float(value))
+        snapshot = registry.snapshot()
+        assert snapshot["depth.p50"] == 2.0
+        assert snapshot["lat.p50"] == 50.5
+        assert snapshot["lat.p50"] == snapshot["lat.median"]
+        assert snapshot["lat.min"] == 1.0
+        assert snapshot["lat.max"] == 100.0
 
     def test_snapshot_untouched_gauge_is_zero(self):
         registry = MetricsRegistry()

@@ -33,8 +33,58 @@ class TestCliInProcess:
     def test_parser_knows_all_commands(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("info", "demo", "assess"):
+        for command in ("info", "demo", "assess", "report", "compare"):
             assert command in text
+
+    def test_module_docstring_enumerates_all_commands(self):
+        # The top-level --help body is the module docstring; every
+        # registered subcommand must appear there.
+        import repro.__main__ as cli
+
+        parser = build_parser()
+        actions = [
+            action for action in parser._actions
+            if hasattr(action, "choices") and action.choices
+        ]
+        for command in actions[0].choices:
+            assert f"``{command}``" in cli.__doc__, (
+                f"subcommand {command!r} missing from CLI docs"
+            )
+
+
+class TestReportCliErrors:
+    def test_unknown_name_exits_nonzero_with_message(self, capsys):
+        assert main(["report", "no-such-report-anywhere"]) == 1
+        err = capsys.readouterr().err
+        assert "no report named" in err
+
+    def test_corrupt_json_exits_nonzero_not_traceback(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{definitely not json")
+        assert main(["report", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "not valid JSON" in err
+
+    def test_schema_mismatch_exits_nonzero(self, tmp_path, capsys):
+        future = tmp_path / "future.json"
+        future.write_text('{"schema": 99, "name": "x", "metrics": {}}')
+        assert main(["report", str(future)]) == 1
+        err = capsys.readouterr().err
+        assert "newer than this code" in err
+
+    def test_non_report_object_exits_nonzero(self, tmp_path, capsys):
+        not_report = tmp_path / "list.json"
+        not_report.write_text("[1, 2, 3]")
+        assert main(["report", str(not_report)]) == 1
+        assert "expected a JSON object" in capsys.readouterr().err
+
+    def test_valid_report_still_renders(self, tmp_path, capsys):
+        from repro.obs import RunReport
+
+        path = str(tmp_path / "ok.json")
+        RunReport("tiny", metrics={"a.b": 1.0}).write(path)
+        assert main(["report", path]) == 0
+        assert "run report — tiny" in capsys.readouterr().out
 
 
 class TestCliSubprocess:
