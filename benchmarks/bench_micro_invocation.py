@@ -1,0 +1,99 @@
+"""Microbenchmark — what the shared invocation pipeline costs.
+
+Every paradigm's client path now rides
+:class:`repro.core.invocation.InvocationPipeline` (spans, uniform
+metrics, retry plumbing, typed error unmarshalling).  This bench
+measures that envelope's wall-clock price: the same CS request/reply
+workload driven (a) through ``cs.call`` — the full pipeline — and
+(b) as a hand-rolled ``host.request`` loop, the raw substrate a
+pre-pipeline caller would have written.  The gated ``overhead_ratio``
+(pipeline per-call time over direct per-call time) keeps the
+convenience layer honest: it must stay a thin wrapper, not become the
+bottleneck.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from repro.core import World, mutual_trust, standard_host
+from repro.net import Message, Position, WIFI_ADHOC
+
+from _common import gate_against_baseline, quick, write_report_data
+
+CALLS = 60 if quick() else 300
+
+
+def _world():
+    world = World(seed=1)
+    world.transport._rng.random = lambda: 0.999
+    a = standard_host(world, "a", Position(0, 0), [WIFI_ADHOC])
+    b = standard_host(world, "b", Position(10, 0), [WIFI_ADHOC])
+    mutual_trust(a, b)
+    b.register_service("echo", lambda args, host: (args, 32))
+    return world, a, b
+
+
+def _run_pipeline_calls():
+    world, a, b = _world()
+
+    def go():
+        for index in range(CALLS):
+            yield from a.component("cs").call("b", "echo", index)
+
+    process = world.env.process(go())
+    world.run(until=process)
+    assert world.metrics.counter("paradigm.cs.served").value == CALLS
+
+
+def _run_direct_calls():
+    world, a, b = _world()
+
+    def go():
+        for index in range(CALLS):
+            message = Message(
+                source="a",
+                destination="b",
+                kind="cs.request",
+                payload={"service": "echo", "args": index},
+                size_bytes=64,
+            )
+            reply = yield from a.request(message, timeout=30.0)
+            assert reply.payload == index
+
+    process = world.env.process(go())
+    world.run(until=process)
+
+
+def test_invocation_pipeline_overhead(benchmark):
+    """Pipeline CS calls vs the raw request/reply loop, gated."""
+    # Warm once so import/alloc caches do not bill the first timing.
+    _run_direct_calls()
+    _run_pipeline_calls()
+
+    started = perf_counter()
+    _run_direct_calls()
+    direct_seconds = perf_counter() - started
+    started = perf_counter()
+    _run_pipeline_calls()
+    pipeline_seconds = perf_counter() - started
+
+    direct_throughput = CALLS / direct_seconds
+    pipeline_throughput = CALLS / pipeline_seconds
+    overhead_ratio = pipeline_seconds / direct_seconds
+    print(
+        f"\ninvocation: direct {direct_throughput:.0f} calls/s vs pipeline "
+        f"{pipeline_throughput:.0f} calls/s (x{overhead_ratio:.2f} wall)"
+    )
+    path = write_report_data(
+        "micro_invocation",
+        metrics={
+            "calls": float(CALLS),
+            "direct_throughput": direct_throughput,
+            "pipeline_throughput": pipeline_throughput,
+            "overhead_ratio": overhead_ratio,
+        },
+        params={"quick": quick()},
+    )
+    gate_against_baseline("micro_invocation", path)
+    benchmark(_run_pipeline_calls)

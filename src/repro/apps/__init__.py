@@ -37,17 +37,20 @@ from .offload import (
 )
 from .sms import SmsAgent, SmsInbox, SmsReceipt, send_sms
 from .shopping import (
+    AdaptiveShoppingReport,
     BrowsingReport,
     PAGE_BYTES,
     PAGES_PER_VENDOR,
     ShoppingAgent,
     make_vendor,
+    shop_adaptively,
     shop_interactively,
     shop_with_agent,
 )
 
 __all__ = [
     "AdaptiveOffloader",
+    "AdaptiveShoppingReport",
     "BrowsingReport",
     "CODEC_CATALOGUE",
     "CRUNCH_CODE_BYTES",
@@ -78,6 +81,7 @@ __all__ = [
     "send_via_agent",
     "send_via_cs",
     "send_via_spray",
+    "shop_adaptively",
     "shop_interactively",
     "shop_with_agent",
 ]

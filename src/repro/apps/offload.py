@@ -15,12 +15,12 @@ from typing import Generator
 from ..lmu import DataUnit, code_unit
 from ..core.adaptation import (
     CostWeights,
-    PARADIGM_CS,
+    PARADIGM_LOCAL,
     PARADIGM_REV,
     ParadigmSelector,
-    TaskProfile,
 )
 from ..core.host import MobileHost
+from ..core.invocation import InvocationTask, LocalExecution
 
 #: Modelled code size of the crunch unit shipped by REV.
 CRUNCH_CODE_BYTES = 30_000
@@ -54,6 +54,8 @@ class OffloadReport:
     where: str  #: "local" or host id
     elapsed_s: float
     result: object
+    #: Which paradigm actually ran ("" for the fixed-path helpers).
+    paradigm: str = ""
 
 
 def run_local(host: MobileHost, work_units: float) -> Generator:
@@ -94,34 +96,48 @@ def run_offloaded(
 class AdaptiveOffloader:
     """Chooses local vs offloaded per task using the paradigm selector.
 
-    Local execution is profiled as "COD with the code already here" —
-    i.e. pure local compute — and offloading as REV; the selector's
-    estimates decide, given the current link to the server.
+    Each task is posed as an :class:`InvocationTask` and handed to
+    ``ParadigmSelector.select_and_invoke``: the selector ranks "stay
+    local" (:class:`LocalExecution`) against REV over the current link
+    and runs the winner through the shared invocation pipeline — no
+    per-paradigm dispatch here.  With the server unreachable, the
+    link-requiring REV candidate drops out and local execution runs
+    unconditionally.
     """
 
     def __init__(self, host: MobileHost, server_id: str) -> None:
         self.host = host
         self.server_id = server_id
-        self.selector = ParadigmSelector(available=[PARADIGM_CS, PARADIGM_REV])
+        if host.paradigm_component(PARADIGM_LOCAL, required=False) is None:
+            host.add_component(LocalExecution())
+        # Local first: on a cost tie, staying put wins.
+        self.selector = ParadigmSelector(
+            available=[PARADIGM_LOCAL, PARADIGM_REV]
+        )
         self.decisions = []
 
-    def profile_for(self, work_units: float, input_bytes: int) -> TaskProfile:
-        return TaskProfile(
-            interactions=1,
+    def task_for(self, work_units: float, input_bytes: int) -> InvocationTask:
+        def factory():
+            def body(ctx, payload_size: int = 0):
+                ctx.charge(work_units)
+                return {
+                    "summary": "ok",
+                    "work": work_units,
+                    "input": payload_size,
+                }
+
+            return body
+
+        return InvocationTask(
+            name="crunch",
+            factory=factory,
+            payload=input_bytes,
+            work_units=work_units,
+            code_bytes=CRUNCH_CODE_BYTES,
             request_bytes=input_bytes,
             reply_bytes=256,
-            code_bytes=CRUNCH_CODE_BYTES,
             result_bytes=256,
-            work_units=work_units,
-            local_speed=self.host.node.cpu_speed,
-            remote_speed=self._server_speed(),
         )
-
-    def _server_speed(self) -> float:
-        network = self.host.world.network
-        if self.server_id in network:
-            return network.node(self.server_id).cpu_speed
-        return 1.0
 
     def run(
         self,
@@ -130,29 +146,17 @@ class AdaptiveOffloader:
         weights: CostWeights = CostWeights(),
     ) -> Generator:
         """Run the task wherever the estimate says is cheaper."""
-        link = self.host.world.network.best_link(
-            self.host.node, self.host.world.network.node(self.server_id)
+        outcome = yield from self.selector.select_and_invoke(
+            self.host,
+            self.task_for(work_units, input_bytes),
+            self.server_id,
+            weights=weights,
         )
-        if link is None:
-            self.decisions.append("local")
-            report = yield from run_local(self.host, work_units)
-            return report
-        profile = self.profile_for(work_units, input_bytes)
-        # "Stay local" is modelled directly: no code moves, compute at
-        # local speed.  (The CS estimator assumes remote compute, so it
-        # is not the right stand-in here.)
-        local_time = work_units / 1e6 / max(profile.local_speed, 1e-9)
-        rev_estimate = next(
-            estimate
-            for estimate in self.selector.estimates(profile, link)
-            if estimate.paradigm == PARADIGM_REV
+        local = outcome.paradigm == PARADIGM_LOCAL
+        self.decisions.append("local" if local else "offload")
+        return OffloadReport(
+            where="local" if local else self.server_id,
+            elapsed_s=outcome.elapsed_s,
+            result=outcome.result,
+            paradigm=outcome.paradigm,
         )
-        if rev_estimate.time_s < local_time:
-            self.decisions.append("offload")
-            report = yield from run_offloaded(
-                self.host, self.server_id, work_units, input_bytes
-            )
-        else:
-            self.decisions.append("local")
-            report = yield from run_local(self.host, work_units)
-        return report

@@ -14,8 +14,15 @@ from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional, Sequence
 
 from ..errors import MigrationError
+from ..core.adaptation import (
+    CostWeights,
+    PARADIGM_CS,
+    PARADIGM_MA,
+    ParadigmSelector,
+)
 from ..core.agents import Agent, AgentContext
 from ..core.host import MobileHost
+from ..core.invocation import InvocationTask
 
 #: Modelled size of one catalogue browsing page, in bytes (2002 WAP-ish).
 PAGE_BYTES = 6_000
@@ -192,3 +199,90 @@ def shop_interactively(
 def device_best_target(vendor_id: str) -> str:
     """Indirection point so tests can interpose failures."""
     return vendor_id
+
+
+@dataclass
+class AdaptiveShoppingReport:
+    """What adaptive shopping decided and bought."""
+
+    best: Optional[tuple]
+    receipt: Optional[dict]
+    #: Paradigm chosen for the quote sweep and for the purchase.
+    paradigms: List[str]
+    quotes: List[tuple]
+
+
+def shop_adaptively(
+    device: MobileHost,
+    product: str,
+    vendor_ids: Sequence[str],
+    weights: CostWeights = CostWeights(),
+    selector: Optional[ParadigmSelector] = None,
+) -> Generator:
+    """Shop via whichever paradigm the selector deems cheapest.
+
+    Both phases — collecting quotes from every vendor, then buying at
+    the cheapest — go through ``ParadigmSelector.select_and_invoke``:
+    on an expensive, slow wireless link the agent rendering wins (one
+    round trip of code, vendor hops on the fixed network); on a fast
+    free link direct CS calls win.  No paradigm dispatch happens here.
+
+    Returns an :class:`AdaptiveShoppingReport`.
+    """
+    selector = selector or ParadigmSelector(
+        available=[PARADIGM_MA, PARADIGM_CS]
+    )
+    # The quote task stands in for the whole per-vendor shopping
+    # session the paradigm must render: a human browsing
+    # PAGES_PER_VENDOR catalogue pages (PAGE_BYTES each) plus the quote
+    # itself.  Under CS every one of those interactions crosses the
+    # wireless link; under MA the agent (ShoppingAgent.code_size bytes
+    # of code plus state) crosses twice and browses vendor-side — which
+    # is exactly the trade-off the paper's shopping scenario describes.
+    quote_task = InvocationTask(
+        name="shop.quote",
+        payload={"product": product},
+        interactions=1 + PAGES_PER_VENDOR,
+        request_bytes=96,
+        reply_bytes=PAGE_BYTES,
+        code_bytes=ShoppingAgent.code_size,
+        result_bytes=256,
+        work_units=2_000,
+        timeout=120.0,
+    )
+    quote_outcome = yield from selector.select_and_invoke(
+        device, quote_task, list(vendor_ids), weights=weights
+    )
+    quotes = [
+        (entry["vendor"], entry["price"])
+        for entry in (quote_outcome.result or [])
+        if entry and entry.get("price") is not None
+    ]
+    if not quotes:
+        return AdaptiveShoppingReport(
+            best=None,
+            receipt=None,
+            paradigms=[quote_outcome.paradigm],
+            quotes=[],
+        )
+    best_vendor, best_price = min(quotes, key=lambda q: (q[1], q[0]))
+    buy_task = InvocationTask(
+        name="shop.buy",
+        payload={"product": product},
+        interactions=1,
+        request_bytes=96,
+        reply_bytes=128,
+        code_bytes=ShoppingAgent.code_size,
+        result_bytes=128,
+        work_units=10_000,
+        timeout=120.0,
+    )
+    buy_outcome = yield from selector.select_and_invoke(
+        device, buy_task, best_vendor, weights=weights
+    )
+    return AdaptiveShoppingReport(
+        best=(best_vendor, best_price),
+        receipt=buy_outcome.result,
+        paradigms=[quote_outcome.paradigm, buy_outcome.paradigm],
+        quotes=quotes,
+    )

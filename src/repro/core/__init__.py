@@ -12,6 +12,7 @@ assessment/selection, and dynamic self-update via COD.
 from .adaptation import (
     PARADIGM_COD,
     PARADIGM_CS,
+    PARADIGM_LOCAL,
     PARADIGM_MA,
     PARADIGM_REV,
     PARADIGMS,
@@ -21,10 +22,13 @@ from .adaptation import (
     TaskProfile,
     estimate_cod,
     estimate_cs,
+    estimate_local,
     estimate_ma,
     estimate_rev,
+    estimator_for,
+    register_estimator,
 )
-from .agents import Agent, AgentContext, AgentRuntime, ItineraryAgent
+from .agents import Agent, AgentContext, AgentRuntime, ItineraryAgent, TaskAgent
 from .assessment import (
     AssessmentReport,
     AssessmentRow,
@@ -59,6 +63,18 @@ from .cs import ClientServer
 from .discovery import Discovery
 from .handover import HandoverManager
 from .host import MobileHost
+from .invocation import (
+    DEFAULT_RETRY,
+    NO_RETRY,
+    InvocationOutcome,
+    InvocationPipeline,
+    InvocationTask,
+    LocalExecution,
+    Paradigm,
+    RetryPolicy,
+    provision_task,
+    run_task_locally,
+)
 from .lookup import LookupClient, LookupServer
 from .outbox import Outbox, OutboxEntry
 from .prefetch import PrefetchItem, Prefetcher
@@ -81,8 +97,12 @@ __all__ = [
     "ContextRegistry",
     "CostEstimate",
     "CostWeights",
+    "DEFAULT_RETRY",
     "Discovery",
     "HandoverManager",
+    "InvocationOutcome",
+    "InvocationPipeline",
+    "InvocationTask",
     "ItineraryAgent",
     "KEY_BANDWIDTH",
     "KEY_BATTERY",
@@ -91,24 +111,30 @@ __all__ = [
     "KEY_LOCATION_Y",
     "KEY_NEIGHBORS",
     "KEY_STORAGE_FREE",
+    "LocalExecution",
     "LookupClient",
     "LookupServer",
     "MobileHost",
+    "NO_RETRY",
     "Outbox",
     "OutboxEntry",
     "PARADIGMS",
     "PARADIGM_COD",
     "PARADIGM_CS",
+    "PARADIGM_LOCAL",
     "PARADIGM_MA",
     "PARADIGM_REV",
+    "Paradigm",
     "ParadigmSelector",
     "PrefetchItem",
     "Prefetcher",
     "Reading",
     "RemoteEvaluation",
+    "RetryPolicy",
     "STANDARD_COMPONENTS",
     "STANDARD_CONTEXTS",
     "ServiceDescription",
+    "TaskAgent",
     "TaskProfile",
     "UpdateManager",
     "UpdateReport",
@@ -117,12 +143,17 @@ __all__ = [
     "component_unit",
     "estimate_cod",
     "estimate_cs",
+    "estimate_local",
     "estimate_ma",
     "estimate_rev",
+    "estimator_for",
     "laptop_host",
     "mutual_trust",
     "pda_host",
     "phone_host",
+    "provision_task",
+    "register_estimator",
+    "run_task_locally",
     "server_host",
     "service",
     "standard_host",

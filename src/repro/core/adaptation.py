@@ -16,12 +16,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..errors import ComponentError
 from ..net import HEADER_BYTES, Link
+
+#: Sentinel distinguishing "no link argument" from an explicit None.
+_UNSET = object()
 
 PARADIGM_CS = "cs"
 PARADIGM_REV = "rev"
 PARADIGM_COD = "cod"
 PARADIGM_MA = "ma"
+#: The degenerate "no mobility" paradigm: run the task on the local
+#: device.  Not part of :data:`PARADIGMS` (the four mobile-code
+#: paradigms of the paper) but rankable alongside them.
+PARADIGM_LOCAL = "local"
 PARADIGMS = (PARADIGM_CS, PARADIGM_REV, PARADIGM_COD, PARADIGM_MA)
 
 
@@ -212,12 +220,53 @@ def estimate_ma(profile: TaskProfile, link: Link) -> CostEstimate:
     )
 
 
+def estimate_local(
+    profile: TaskProfile, link: Optional[Link] = None
+) -> CostEstimate:
+    """Nothing moves: the task runs on the device's own (slow) CPU."""
+    compute_s = (
+        profile.interactions
+        * profile.work_units
+        / 1e6
+        / max(profile.local_speed, 1e-9)
+    )
+    return CostEstimate(
+        paradigm=PARADIGM_LOCAL,
+        wireless_bytes=0.0,
+        time_s=compute_s,
+        money=0.0,
+        energy_j=compute_s * _CPU_J_PER_S,
+    )
+
+
 _ESTIMATORS: Dict[str, Callable[[TaskProfile, Link], CostEstimate]] = {
     PARADIGM_CS: estimate_cs,
     PARADIGM_REV: estimate_rev,
     PARADIGM_COD: estimate_cod,
     PARADIGM_MA: estimate_ma,
+    PARADIGM_LOCAL: estimate_local,
 }
+
+
+def register_estimator(
+    paradigm: str, estimator: Callable[[TaskProfile, Link], CostEstimate]
+) -> None:
+    """Register (or replace) the cost estimator for a paradigm kind.
+
+    The plugin hook for a fifth paradigm: register its estimator here,
+    then list its kind in ``ParadigmSelector(available=[...])``.
+    """
+    _ESTIMATORS[paradigm] = estimator
+
+
+def estimator_for(
+    paradigm: str,
+) -> Callable[[TaskProfile, Link], CostEstimate]:
+    """The registered estimator for ``paradigm`` (ValueError if none)."""
+    try:
+        return _ESTIMATORS[paradigm]
+    except KeyError:
+        raise ValueError(f"unknown paradigm {paradigm!r}") from None
 
 
 class ParadigmSelector:
@@ -257,3 +306,80 @@ class ParadigmSelector:
     ) -> CostEstimate:
         """The winning paradigm's estimate for this task/context."""
         return self.rank(profile, link, weights)[0]
+
+    def select_and_invoke(
+        self,
+        host,
+        task,
+        target=None,
+        weights: CostWeights = CostWeights(),
+        retry=None,
+        link=_UNSET,
+    ):
+        """Assess, pick, and run: the point where the paper's
+        "plugged-in dynamically and used when needed" becomes executable
+        (generator).
+
+        Ranks the paradigms in :attr:`available` that ``host`` actually
+        has installed (components satisfying the
+        :class:`~repro.core.invocation.Paradigm` protocol), by composite
+        cost over the current best link to the primary target, and
+        invokes the cheapest.  With no usable link, link-requiring
+        paradigms are excluded (a local/COD-cached fallback still
+        runs).  Ties keep :attr:`available` order — list the preferred
+        fallback first.  Returns an
+        :class:`~repro.core.invocation.InvocationOutcome`.
+        """
+        from .invocation import (
+            InvocationOutcome,
+            normalize_targets,
+            resolve_profile,
+        )
+
+        targets, scalar = normalize_targets(target)
+        network = host.world.network
+        if link is _UNSET:
+            link = None
+            if targets and targets[0] in network.nodes:
+                link = network.best_link(
+                    host.node, network.node(targets[0])
+                )
+        remote_speed = None
+        if targets and targets[0] in network.nodes:
+            remote_speed = network.node(targets[0]).cpu_speed
+        candidates = []
+        for kind in self.available:
+            component = host.paradigm_component(kind, required=False)
+            if component is None:
+                continue
+            if link is None and component.requires_link:
+                continue
+            candidates.append(component)
+        if not candidates:
+            raise ComponentError(
+                f"host {host.id} has no usable paradigm among "
+                f"{self.available} (link: {'up' if link else 'down'})"
+            )
+        profile = resolve_profile(
+            task,
+            local_speed=host.node.cpu_speed,
+            remote_speed=remote_speed,
+            hosts=len(targets) or None,
+        )
+        ranking = sorted(
+            (component.cost(profile, link) for component in candidates),
+            key=lambda estimate: estimate.composite(weights),
+        )
+        by_kind = {component.paradigm: component for component in candidates}
+        winner = ranking[0]
+        component = by_kind[winner.paradigm]
+        started = host.env.now
+        result = yield from component.invoke(task, target, retry=retry)
+        return InvocationOutcome(
+            paradigm=winner.paradigm,
+            target=target,
+            result=result,
+            elapsed_s=host.env.now - started,
+            estimate=winner,
+            ranking=ranking,
+        )

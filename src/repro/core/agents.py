@@ -13,15 +13,18 @@ signature gate, and execution is metered against the guest budgets.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Generator, List
+from typing import Callable, Dict, Generator, List, Optional
 
 from ..errors import (
     MigrationError,
     RequestTimeout,
     SandboxViolation,
     SecurityError,
+    ServiceNotFound,
     TransportTimeout,
     Unreachable,
+    from_wire,
+    to_wire,
 )
 from ..lmu import DataUnit, assemble_capsule, code_unit, estimate_size
 from ..net import Message
@@ -30,7 +33,14 @@ from ..security import (
     WORK_UNITS_PER_SECOND,
     sign_capsule,
 )
+from .adaptation import PARADIGM_MA
 from .components import Component, MessageHandler
+from .invocation import (
+    DEFAULT_RETRY,
+    InvocationTask,
+    RetryPolicy,
+    request_with_retry,
+)
 
 KIND_TRANSFER = "agent.transfer"
 KIND_ACK = "agent.ack"
@@ -152,7 +162,7 @@ class AgentContext:
         host = self._runtime.require_host()
         entry = host.services.get(service)
         if entry is None:
-            raise _AgentServiceMissing(
+            raise ServiceNotFound(
                 f"host {host.id} offers no service {service!r}"
             )
         handler, work_units = entry
@@ -160,6 +170,16 @@ class AgentContext:
         yield from host.execute(work_units)
         result, _size = handler(args, host)
         return result
+
+    def note_served(self) -> None:
+        """Count one unit of useful work done by this agent against the
+        runtime's uniform ``paradigm.ma.served`` counter."""
+        self._runtime.pipeline.record_served()
+
+    def note_retry(self) -> None:
+        """Count one agent-level retry (a re-attempted hop) against the
+        runtime's uniform ``paradigm.ma.retries`` counter."""
+        self._runtime.pipeline.bump("retries")
 
     def deliver(self, payload: object) -> None:
         """Hand a payload to the current host's application layer."""
@@ -197,10 +217,6 @@ class AgentContext:
         raise _AgentDied(self._agent.agent_id)
 
 
-class _AgentServiceMissing(Exception):
-    """The current host does not offer a service the agent wanted."""
-
-
 #: Called with (agent, payload) when an agent delivers to this host.
 DeliveryListener = Callable[[Agent, object], None]
 
@@ -209,6 +225,7 @@ class AgentRuntime(Component):
     """Hosts, launches, migrates, and protects mobile agents."""
 
     kind = "agents"
+    paradigm = PARADIGM_MA
     code_size = 12_000
 
     def __init__(self, migration_timeout: float = 60.0) -> None:
@@ -360,16 +377,23 @@ class AgentRuntime(Component):
         )
         sign_seconds = sign_capsule(host.keypair, capsule)
         yield from host.execute(sign_seconds * WORK_UNITS_PER_SECOND)
-        message = Message(
-            source=host.id,
-            destination=target_id,
-            kind=KIND_TRANSFER,
-            payload={"capsule": capsule},
-            size_bytes=capsule.size_bytes,
-        )
+
+        def build() -> Message:
+            return Message(
+                source=host.id,
+                destination=target_id,
+                kind=KIND_TRANSFER,
+                payload={"capsule": capsule},
+                size_bytes=capsule.size_bytes,
+            )
+
         try:
-            reply = yield from host.request(
-                message, timeout=self.migration_timeout, parent=parent
+            reply = yield from request_with_retry(
+                host,
+                build,
+                timeout=self.migration_timeout,
+                parent=parent,
+                on_retry=lambda: self.pipeline.bump("retries"),
             )
         except (Unreachable, TransportTimeout, RequestTimeout) as error:
             raise MigrationError(
@@ -424,11 +448,12 @@ class AgentRuntime(Component):
             yield from host.admit_capsule(capsule, OP_ACCEPT_AGENT)
         except SecurityError as error:
             host.rejected_capsules += 1
+            refusal = {"accepted": False, "reason": str(error)}
             yield host.reply_to(
                 message,
                 KIND_ACK,
-                payload={"accepted": False, "reason": str(error)},
-                size_bytes=64,
+                payload=refusal,
+                size_bytes=estimate_size(refusal),
             )
             return
         unit = capsule.code_units[0]
@@ -444,6 +469,63 @@ class AgentRuntime(Component):
         )
         host.world.metrics.counter("agents.arrivals").increment()
         self._run(agent)
+
+    # -- Paradigm protocol -------------------------------------------------------
+
+    def invoke(
+        self,
+        task: InvocationTask,
+        target,
+        retry: Optional[RetryPolicy] = None,
+    ) -> Generator:
+        """Run ``task`` by sending a :class:`TaskAgent` to the target
+        host(s) (Paradigm protocol).
+
+        The agent visits each target, calls the service named
+        ``task.name`` there, and carries the results home.  A lost or
+        stranded agent raises :class:`MigrationError`, which the
+        pipeline treats as transient: the whole itinerary is relaunched
+        with backoff (``paradigm.ma.retries`` counts the relaunches).
+        """
+        policy = DEFAULT_RETRY if retry is None else retry
+        scalar = isinstance(target, str)
+        targets = [target] if scalar else list(target or [])
+
+        def attempt(span: object) -> Generator:
+            agent = TaskAgent()
+            agent_id = self.launch(
+                agent,
+                service=task.name,
+                payload=task.payload,
+                targets=list(targets),
+            )
+            yield self.env.any_of(
+                [self.completion(agent_id), self.env.timeout(task.timeout)]
+            )
+            final = self.completed.get(agent_id)
+            if final is None:
+                raise MigrationError(
+                    f"agent {agent_id} did not return within "
+                    f"{task.timeout}s"
+                )
+            if final.get("error") is not None:
+                raise from_wire(final["error"])
+            if final.get("outcome") != "completed":
+                raise MigrationError(
+                    f"agent {agent_id} ended {final.get('outcome')!r}"
+                )
+            results = list(final.get("results", []))
+            return results[0] if scalar else results
+
+        return (
+            yield from self.pipeline.run(
+                "ma.invoke",
+                attempt,
+                retry=policy,
+                transient=(MigrationError,),
+                task=task.name,
+            )
+        )
 
 
 class ItineraryAgent(Agent):
@@ -494,3 +576,72 @@ class ItineraryAgent(Agent):
         raise MigrationError(
             f"agent {self.agent_id} could not return home to {home}"
         )
+
+
+class TaskAgent(Agent):
+    """The agent rendering of an :class:`InvocationTask`.
+
+    Visits each target host, calls the service named by
+    ``state["service"]`` with ``state["payload"]``, accumulates the
+    results, and carries them home.  Failed hops are retried in place
+    with backoff (``context.note_retry``); a hop that stays impossible
+    — or a failing service call — is recorded as a wire-marshalled
+    error in ``state["error"]`` for :meth:`AgentRuntime.invoke` to
+    re-raise at the launch host.
+    """
+
+    code_size = 8_000
+    #: Seconds before re-attempting a failed hop (doubles per retry).
+    hop_retry_delay: float = 2.0
+    hop_retry_limit: int = 3
+
+    def _hop(self, context: AgentContext, target: str) -> Generator:
+        """Migrate to ``target``; on success control never returns
+        (weak mobility).  Returning at all means every retry failed and
+        ``state["error"]`` holds the migration error."""
+        delay = self.hop_retry_delay
+        for attempt in range(max(1, self.hop_retry_limit)):
+            try:
+                yield from context.migrate(target)
+            except MigrationError as error:
+                if attempt + 1 >= max(1, self.hop_retry_limit):
+                    self.state["error"] = to_wire(error)
+                    return
+                context.note_retry()
+                yield from context.sleep(delay)
+                delay *= 2
+
+    def on_arrival(self, context: AgentContext) -> Generator:
+        state = self.state
+        state.setdefault("results", [])
+        state.setdefault("index", 0)
+        state.setdefault("error", None)
+        targets: List[str] = list(state.get("targets", []))  # type: ignore[arg-type]
+        home = str(state["home"])
+
+        while state.get("error") is None and int(state["index"]) < len(targets):  # type: ignore[arg-type]
+            index = int(state["index"])  # type: ignore[arg-type]
+            target = targets[index]
+            if target != context.host_id:
+                yield from self._hop(context, target)
+                continue  # only reached when the hop failed for good
+            try:
+                result = yield from context.invoke_local(
+                    str(state.get("service")), state.get("payload")
+                )
+            except Exception as error:  # noqa: BLE001 - service code is foreign
+                state["error"] = to_wire(error)
+                break
+            state["results"].append(result)  # type: ignore[union-attr]
+            state["index"] = index + 1
+            context.note_served()
+        if context.host_id == home:
+            return
+        yield from self._hop(context, home)
+        # Still here: stranded away from home with results undeliverable.
+        if state.get("error") is None:
+            state["error"] = to_wire(
+                MigrationError(
+                    f"agent {self.agent_id} could not return home to {home}"
+                )
+            )

@@ -7,11 +7,17 @@ conserving resources."  The client side sends its installed inventory
 so the provider ships a differential capsule; the provider side serves
 from its repository (trusted third party) or its own codebase (a peer
 in an ad-hoc scenario).
+
+The fetch exchange runs through the shared
+:class:`~repro.core.invocation.InvocationPipeline` (correlation,
+timeout, link retry, typed error marshalling, spans, metrics); this
+module owns capsule building, differential inventories, and the
+install/evict lifecycle.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Sequence
+from typing import Dict, Generator, List, Optional, Sequence, Union
 
 from ..errors import UnitNotFound
 from ..lmu import (
@@ -28,7 +34,14 @@ from ..security import (
     WORK_UNITS_PER_SECOND,
     sign_capsule,
 )
+from .adaptation import PARADIGM_COD
 from .components import Component, MessageHandler
+from .invocation import (
+    DEFAULT_RETRY,
+    InvocationTask,
+    RetryPolicy,
+    run_task_locally,
+)
 
 KIND_REQUEST = "cod.request"
 KIND_REPLY = "cod.reply"
@@ -39,12 +52,63 @@ class CodeOnDemand(Component):
     """Fetch, install, and serve code units on demand."""
 
     kind = "cod"
+    paradigm = PARADIGM_COD
+    #: A cached unit keeps working with the link down; ``invoke`` only
+    #: needs the network on a cache miss.
+    requires_link = True
     code_size = 6_000
 
     def handlers(self) -> Dict[str, MessageHandler]:
         return {KIND_REQUEST: self._handle_request}
 
     # -- client side -------------------------------------------------------------
+
+    def _fetch_capsule(
+        self,
+        provider_id: str,
+        roots: Sequence[str],
+        span: object,
+        timeout: float,
+        retry: Optional[RetryPolicy],
+        install: bool,
+        pinned: bool,
+    ) -> Generator:
+        """The fetch exchange itself (no span/metric envelope): request
+        a differential capsule, admit, install.  Shared by :meth:`fetch`
+        and :meth:`invoke`, each of which wraps it in exactly one
+        pipeline operation."""
+        host = self.require_host()
+        host.world.metrics.counter("cod.fetches").increment()
+        inventory = {
+            name: str(version)
+            for name, version in host.codebase.inventory().items()
+        }
+
+        def build() -> Message:
+            return Message(
+                source=host.id,
+                destination=provider_id,
+                kind=KIND_REQUEST,
+                payload={"roots": list(roots), "inventory": inventory},
+                size_bytes=estimate_size(list(roots))
+                + estimate_size(inventory),
+            )
+
+        reply = yield from self.pipeline.exchange(
+            build,
+            timeout=timeout,
+            error_kinds=(KIND_ERROR,),
+            parent=span,
+            retry=retry,
+        )
+        capsule: Capsule = (reply.payload or {})["capsule"]
+        yield from host.admit_capsule(capsule, OP_INSTALL_CODE)
+        host.world.metrics.counter("cod.bytes_fetched").increment(
+            capsule.size_bytes
+        )
+        if install:
+            install_capsule(capsule, host.codebase, pinned=pinned)
+        return capsule
 
     def fetch(
         self,
@@ -53,6 +117,7 @@ class CodeOnDemand(Component):
         install: bool = True,
         pinned: bool = False,
         timeout: float = 60.0,
+        retry: Optional[RetryPolicy] = None,
     ) -> Generator:
         """Fetch the closure of ``roots`` from ``provider_id`` (generator).
 
@@ -61,49 +126,23 @@ class CodeOnDemand(Component):
         Returns the received :class:`Capsule`.  Raises
         :class:`UnitNotFound` when the provider cannot supply a root.
         """
-        host = self.require_host()
-        tracer = host.world.tracer
-        span = tracer.start(
-            "cod.fetch", host.id, roots=",".join(roots), provider=provider_id
-        )
-        started = self.env.now
-        inventory = {
-            name: str(version)
-            for name, version in host.codebase.inventory().items()
-        }
-        message = Message(
-            source=host.id,
-            destination=provider_id,
-            kind=KIND_REQUEST,
-            payload={"roots": list(roots), "inventory": inventory},
-            size_bytes=estimate_size(list(roots)) + estimate_size(inventory),
-        )
-        host.world.metrics.counter("cod.fetches").increment()
-        try:
-            reply = yield from host.request(
-                message, timeout=timeout, parent=span
+
+        def attempt(span: object) -> Generator:
+            return (
+                yield from self._fetch_capsule(
+                    provider_id, roots, span, timeout, retry, install, pinned
+                )
             )
-        except BaseException as error:
-            tracer.finish(span, status="error", error=type(error).__name__)
-            raise
-        if reply.kind == KIND_ERROR:
-            tracer.finish(span, status="error", error="UnitNotFound")
-            raise UnitNotFound(
-                f"provider {provider_id} cannot supply {list(roots)}: "
-                f"{(reply.payload or {}).get('error', '')}"
+
+        return (
+            yield from self.pipeline.run(
+                "cod.fetch",
+                attempt,
+                aliases={"seconds": "cod.fetch_seconds"},
+                roots=",".join(roots),
+                provider=provider_id,
             )
-        capsule: Capsule = (reply.payload or {})["capsule"]
-        yield from host.admit_capsule(capsule, OP_INSTALL_CODE)
-        host.world.metrics.counter("cod.bytes_fetched").increment(
-            capsule.size_bytes
         )
-        host.world.metrics.histogram("cod.fetch_seconds").observe(
-            self.env.now - started
-        )
-        if install:
-            install_capsule(capsule, host.codebase, pinned=pinned)
-        tracer.finish(span, bytes=capsule.size_bytes)
-        return capsule
 
     def ensure(
         self,
@@ -111,6 +150,7 @@ class CodeOnDemand(Component):
         provider_id: str,
         pinned: bool = False,
         timeout: float = 60.0,
+        retry: Optional[RetryPolicy] = None,
     ) -> Generator:
         """Make sure ``roots`` are installed, fetching only on a miss.
 
@@ -127,9 +167,62 @@ class CodeOnDemand(Component):
             return "hit"
         host.world.metrics.counter("cod.misses").increment()
         yield from self.fetch(
-            provider_id, roots, install=True, pinned=pinned, timeout=timeout
+            provider_id,
+            roots,
+            install=True,
+            pinned=pinned,
+            timeout=timeout,
+            retry=retry,
         )
         return "miss"
+
+    def invoke(
+        self,
+        task: InvocationTask,
+        target: Union[str, Sequence[str], None],
+        retry: Optional[RetryPolicy] = None,
+    ) -> Generator:
+        """Run ``task`` locally, fetching its unit on demand (Paradigm
+        protocol).  ``target`` names the provider(s) to fetch from on a
+        cache miss; execution always happens on this host."""
+        host = self.require_host()
+        policy = DEFAULT_RETRY if retry is None else retry
+        providers = (
+            [target] if isinstance(target, str) else list(target or [])
+        )
+
+        def attempt(span: object) -> Generator:
+            requirement = Requirement.parse(task.name)
+            if host.codebase.satisfies(requirement):
+                host.codebase.touch(requirement.name)
+                host.world.metrics.counter("cod.hits").increment()
+            else:
+                host.world.metrics.counter("cod.misses").increment()
+                if not providers:
+                    raise UnitNotFound(
+                        f"{task.name!r} is not cached and no provider was "
+                        "given"
+                    )
+                yield from self._fetch_capsule(
+                    providers[0],
+                    [task.name],
+                    span,
+                    task.timeout,
+                    policy,
+                    True,
+                    False,
+                )
+            value = yield from run_task_locally(
+                host, task, unit=host.codebase.get(requirement.name)
+            )
+            self.pipeline.record_served()
+            return value
+
+        return (
+            yield from self.pipeline.run(
+                "cod.invoke", attempt, task=task.name
+            )
+        )
 
     def release(self, names: Sequence[str]) -> List[str]:
         """Uninstall units no longer needed ("the device can choose to
@@ -179,13 +272,11 @@ class CodeOnDemand(Component):
                 already_installed=inventory,
             )
         except UnitNotFound as error:
-            yield host.reply_to(
-                message, KIND_ERROR, payload={"error": str(error)}, size_bytes=64
-            )
+            yield self.pipeline.reply_error(message, KIND_ERROR, error)
             return
         sign_seconds = sign_capsule(host.keypair, capsule)
         yield from host.execute(sign_seconds * WORK_UNITS_PER_SECOND)
-        host.world.metrics.counter("cod.served").increment()
+        self.pipeline.record_served(alias="cod.served")
         yield host.reply_to(
             message,
             KIND_REPLY,

@@ -38,10 +38,17 @@ class Component:
     version: Version = Version(1, 0, 0)
     #: Modelled code footprint when shipped as an update capsule.
     code_size: int = 8_000
+    #: Paradigm kind this component executes (``"cs"``, ``"rev"``, …),
+    #: or None for non-paradigm components (lookup, update, outbox).
+    paradigm: Optional[str] = None
+    #: False when :meth:`invoke` works without a usable network link
+    #: (local execution, COD against an already-cached unit).
+    requires_link: bool = True
 
     def __init__(self) -> None:
         self.host: Optional["MobileHost"] = None
         self.started = False
+        self._pipeline = None
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -80,6 +87,37 @@ class Component:
         if self.host is None:
             raise ComponentError(f"component {self.kind} is not attached")
         return self.host
+
+    @property
+    def pipeline(self):
+        """This component's :class:`~repro.core.invocation.InvocationPipeline`
+        (created lazily; metric namespace is :attr:`paradigm`, falling
+        back to :attr:`kind` for non-paradigm components)."""
+        if self._pipeline is None:
+            from .invocation import InvocationPipeline
+
+            self._pipeline = InvocationPipeline(
+                self, self.paradigm or self.kind
+            )
+        return self._pipeline
+
+    def cost(self, task, link):
+        """Predicted cost of :meth:`invoke` for ``task`` over ``link``.
+
+        The default consults the estimator registered for this
+        component's :attr:`paradigm` (see
+        :func:`~repro.core.adaptation.register_estimator`).
+        """
+        if self.paradigm is None:
+            raise ComponentError(
+                f"component {self.kind} declares no paradigm to cost"
+            )
+        from .adaptation import estimator_for
+        from .invocation import resolve_profile
+
+        host = self.require_host()
+        profile = resolve_profile(task, local_speed=host.node.cpu_speed)
+        return estimator_for(self.paradigm)(profile, link)
 
     def __repr__(self) -> str:
         owner = self.host.id if self.host else "unattached"

@@ -132,6 +132,30 @@ class MobileHost:
                 f"host {self.id} has no {kind!r} component"
             ) from None
 
+    def paradigm_component(
+        self, paradigm: str, required: bool = True
+    ) -> Optional[Component]:
+        """The installed component executing paradigm ``paradigm``.
+
+        Looked up by the component's declared :attr:`~Component.paradigm`
+        (not its registry kind), so a plugged-in fifth paradigm is found
+        the same way the built-in four are.  Only components satisfying
+        the :class:`~repro.core.invocation.Paradigm` protocol (an
+        ``invoke`` entry point) qualify.
+        """
+        for component in self.components.values():
+            if (
+                getattr(component, "paradigm", None) == paradigm
+                and hasattr(component, "invoke")
+            ):
+                return component
+        if required:
+            raise ComponentError(
+                f"host {self.id} has no component for paradigm "
+                f"{paradigm!r}"
+            )
+        return None
+
     # -- CS service registry -----------------------------------------------------
 
     def register_service(

@@ -15,6 +15,7 @@ from typing import Dict, Generator, Optional
 from ..errors import RequestTimeout, ServiceNotFound, TransportTimeout, Unreachable
 from ..net import Message
 from .components import Component, MessageHandler
+from .invocation import RetryPolicy, request_with_retry
 from .services import ServiceDescription
 
 KIND_REGISTER = "lookup.register"
@@ -142,21 +143,31 @@ class LookupClient(Component):
     def handlers(self) -> Dict[str, MessageHandler]:
         return {}
 
-    def register(self, description: ServiceDescription) -> Generator:
+    def register(
+        self,
+        description: ServiceDescription,
+        retry: Optional[RetryPolicy] = None,
+    ) -> Generator:
         """Register a service and keep its lease renewed (generator).
 
         Returns the granted lease duration.  Raises the transport
-        errors when the server is unreachable.
+        errors when the server is unreachable (after exhausting
+        ``retry``, when one is given).
         """
         host = self.require_host()
-        message = Message(
-            source=host.id,
-            destination=self.server_id,
-            kind=KIND_REGISTER,
-            payload={"service": description},
-            size_bytes=description.size_bytes,
+
+        def build() -> Message:
+            return Message(
+                source=host.id,
+                destination=self.server_id,
+                kind=KIND_REGISTER,
+                payload={"service": description},
+                size_bytes=description.size_bytes,
+            )
+
+        reply = yield from request_with_retry(
+            host, build, timeout=self.request_timeout, retry=retry
         )
-        reply = yield from host.request(message, timeout=self.request_timeout)
         lease = float((reply.payload or {}).get("lease", 30.0))
         self._registered[description.key] = description
         self._renewers[description.key] = self.env.process(
@@ -165,22 +176,30 @@ class LookupClient(Component):
         )
         return lease
 
-    def withdraw(self, key: str) -> Generator:
+    def withdraw(
+        self, key: str, retry: Optional[RetryPolicy] = None
+    ) -> Generator:
         host = self.require_host()
         self._registered.pop(key, None)
-        message = Message(
-            source=host.id,
-            destination=self.server_id,
-            kind=KIND_WITHDRAW,
-            payload={"key": key},
-            size_bytes=64,
+
+        def build() -> Message:
+            return Message(
+                source=host.id,
+                destination=self.server_id,
+                kind=KIND_WITHDRAW,
+                payload={"key": key},
+                size_bytes=64,
+            )
+
+        yield from request_with_retry(
+            host, build, timeout=self.request_timeout, retry=retry
         )
-        yield from host.request(message, timeout=self.request_timeout)
 
     def find(
         self,
         service_type: str,
         attributes: Optional[Dict[str, str]] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> Generator:
         """Query the lookup server (generator helper).
 
@@ -189,18 +208,23 @@ class LookupClient(Component):
         failure mode the paper attributes to centralised discovery.
         """
         host = self.require_host()
-        message = Message(
-            source=host.id,
-            destination=self.server_id,
-            kind=KIND_QUERY,
-            payload={
-                "service_type": service_type,
-                "attributes": dict(attributes or {}),
-            },
-            size_bytes=96,
-        )
+
+        def build() -> Message:
+            return Message(
+                source=host.id,
+                destination=self.server_id,
+                kind=KIND_QUERY,
+                payload={
+                    "service_type": service_type,
+                    "attributes": dict(attributes or {}),
+                },
+                size_bytes=96,
+            )
+
         try:
-            reply = yield from host.request(message, timeout=self.request_timeout)
+            reply = yield from request_with_retry(
+                host, build, timeout=self.request_timeout, retry=retry
+            )
         except (Unreachable, TransportTimeout, RequestTimeout) as error:
             raise ServiceNotFound(
                 f"lookup server {self.server_id} unreachable: "

@@ -4,13 +4,19 @@
 the result" — the paper's answer to limited device CPU: REV-ship a
 work capsule to a powerful fixed host and wait for the (small) result
 instead of grinding locally.
+
+The exchange itself (correlation, timeout, link retry, error
+marshalling, spans, metrics) runs through the shared
+:class:`~repro.core.invocation.InvocationPipeline`; this module owns
+the capsule build/sign on the way out and the sandboxed run on the
+server.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Generator, Sequence
+from typing import Dict, Generator, Optional, Sequence, Union
 
-from ..errors import RemoteExecutionError, UnitNotFound
+from ..errors import UnitNotFound, remote_failure
 from ..lmu import DataUnit, Requirement, build_capsule, estimate_size
 from ..net import Message
 from ..security import (
@@ -18,16 +24,20 @@ from ..security import (
     WORK_UNITS_PER_SECOND,
     sign_capsule,
 )
+from .adaptation import PARADIGM_REV
 from .components import Component, MessageHandler
+from .invocation import DEFAULT_RETRY, InvocationTask, RetryPolicy
 
 KIND_REQUEST = "rev.request"
 KIND_REPLY = "rev.reply"
+KIND_ERROR = "rev.error"
 
 
 class RemoteEvaluation(Component):
     """Ship a code capsule for execution elsewhere; get the result back."""
 
     kind = "rev"
+    paradigm = PARADIGM_REV
     code_size = 6_000
 
     def handlers(self) -> Dict[str, MessageHandler]:
@@ -42,6 +52,7 @@ class RemoteEvaluation(Component):
         args: Sequence[object] = (),
         data_units: Sequence[DataUnit] = (),
         timeout: float = 120.0,
+        retry: Optional[RetryPolicy] = None,
     ) -> Generator:
         """Evaluate local unit ``roots[0]`` on ``target_id`` (generator).
 
@@ -61,57 +72,85 @@ class RemoteEvaluation(Component):
                 )
             return unit
 
-        tracer = host.world.tracer
-        span = tracer.start(
-            "rev.evaluate", host.id, root=str(roots[0]), target=target_id
-        )
-        started = self.env.now
-        capsule = build_capsule(
-            sender=host.id,
-            purpose="rev-request",
-            roots=list(roots),
-            resolve=resolve,
-            data_units=data_units,
-            built_at=self.env.now,
-        )
-        sign_seconds = sign_capsule(host.keypair, capsule)
-        yield from host.execute(sign_seconds * WORK_UNITS_PER_SECOND)
-        message = Message(
-            source=host.id,
-            destination=target_id,
-            kind=KIND_REQUEST,
-            payload={
-                "capsule": capsule,
-                "entry": capsule.code_unit(
-                    Requirement.parse(roots[0]).name
-                ).name,
-                "args": tuple(args),
-            },
-            size_bytes=capsule.size_bytes,
-        )
-        host.world.metrics.counter("rev.requests").increment()
-        host.world.metrics.counter("rev.bytes_shipped").increment(
-            capsule.size_bytes
-        )
-        try:
-            reply = yield from host.request(
-                message, timeout=timeout, parent=span
+        def attempt(span: object) -> Generator:
+            capsule = build_capsule(
+                sender=host.id,
+                purpose="rev-request",
+                roots=list(roots),
+                resolve=resolve,
+                data_units=data_units,
+                built_at=self.env.now,
             )
-        except BaseException as error:
-            tracer.finish(span, status="error", error=type(error).__name__)
-            raise
-        host.world.metrics.histogram("rev.roundtrip_seconds").observe(
-            self.env.now - started
-        )
-        outcome = reply.payload or {}
-        if not outcome.get("ok"):
-            tracer.finish(span, status="error", error="remote")
-            raise RemoteExecutionError(
-                f"REV of {roots[0]} on {target_id} failed",
-                remote_error=str(outcome.get("error", "")),
+            sign_seconds = sign_capsule(host.keypair, capsule)
+            yield from host.execute(sign_seconds * WORK_UNITS_PER_SECOND)
+            host.world.metrics.counter("rev.bytes_shipped").increment(
+                capsule.size_bytes
             )
-        tracer.finish(span)
-        return outcome.get("value")
+
+            def build() -> Message:
+                return Message(
+                    source=host.id,
+                    destination=target_id,
+                    kind=KIND_REQUEST,
+                    payload={
+                        "capsule": capsule,
+                        "entry": capsule.code_unit(
+                            Requirement.parse(roots[0]).name
+                        ).name,
+                        "args": tuple(args),
+                    },
+                    size_bytes=capsule.size_bytes,
+                )
+
+            reply = yield from self.pipeline.exchange(
+                build,
+                timeout=timeout,
+                error_kinds=(KIND_ERROR,),
+                parent=span,
+                retry=retry,
+            )
+            return (reply.payload or {}).get("value")
+
+        return (
+            yield from self.pipeline.run(
+                "rev.evaluate",
+                attempt,
+                aliases={
+                    "calls": "rev.requests",
+                    "seconds": "rev.roundtrip_seconds",
+                },
+                root=str(roots[0]),
+                target=target_id,
+            )
+        )
+
+    def invoke(
+        self,
+        task: InvocationTask,
+        target: Union[str, Sequence[str], None],
+        retry: Optional[RetryPolicy] = None,
+    ) -> Generator:
+        """Run ``task`` by shipping its unit to each target (Paradigm
+        protocol).  The task's unit is (re)installed into the local
+        codebase so the capsule closure can resolve it."""
+        host = self.require_host()
+        policy = DEFAULT_RETRY if retry is None else retry
+        unit = task.unit()
+        host.codebase.install(unit)
+        targets = [target] if isinstance(target, str) else list(target or [])
+        results = []
+        for target_id in targets:
+            value = yield from self.evaluate(
+                target_id,
+                [task.name],
+                args=(task.payload,),
+                timeout=task.timeout,
+                retry=policy,
+            )
+            results.append(value)
+        if isinstance(target, str):
+            return results[0]
+        return results
 
     # -- server side ----------------------------------------------------------------
 
@@ -131,15 +170,20 @@ class RemoteEvaluation(Component):
         )
         # The guest's metered work happens at *this* host's speed.
         yield from host.execute(result.work_used)
-        host.world.metrics.counter("rev.served").increment()
-        outcome = {
-            "ok": result.ok,
-            "value": result.value if result.ok else None,
-            "error": result.error,
-        }
+        if not result.ok:
+            yield self.pipeline.reply_error(
+                message,
+                KIND_ERROR,
+                remote_failure(
+                    result.error or f"REV of {entry_unit.name} failed",
+                    result.error_type,
+                ),
+            )
+            return
+        self.pipeline.record_served(alias="rev.served")
         yield host.reply_to(
             message,
             KIND_REPLY,
-            payload=outcome,
-            size_bytes=estimate_size(outcome["value"]) + 32,
+            payload={"value": result.value},
+            size_bytes=estimate_size(result.value) + 32,
         )

@@ -46,7 +46,11 @@ class UpdateManager(Component):
         self.history: List[UpdateReport] = []
 
     def hot_swap(
-        self, component_kind: str, provider_id: str, unit_name: str
+        self,
+        component_kind: str,
+        provider_id: str,
+        unit_name: str,
+        retry=None,
     ) -> Generator:
         """Replace ``component_kind`` with the unit ``unit_name`` fetched
         from ``provider_id`` (generator helper).  Returns an
@@ -61,7 +65,7 @@ class UpdateManager(Component):
         old_version = str(old.version)
         cod = host.component("cod")
         capsule = yield from cod.fetch(
-            provider_id, [unit_name], install=True, pinned=True
+            provider_id, [unit_name], install=True, pinned=True, retry=retry
         )
         unit = capsule.code_unit(unit_name)
         component_class = unit.instantiate()
@@ -99,7 +103,7 @@ class UpdateManager(Component):
         return report
 
     def install_component(
-        self, provider_id: str, unit_name: str
+        self, provider_id: str, unit_name: str, retry=None
     ) -> Generator:
         """Plug in a component this host does not yet have, via COD.
 
@@ -114,7 +118,7 @@ class UpdateManager(Component):
         host.policy.check(OP_UPDATE_MIDDLEWARE, provider_id)
         cod = host.component("cod")
         capsule = yield from cod.fetch(
-            provider_id, [unit_name], install=True, pinned=True
+            provider_id, [unit_name], install=True, pinned=True, retry=retry
         )
         try:
             unit = capsule.code_unit(unit_name)
@@ -140,6 +144,7 @@ class UpdateManager(Component):
         self,
         provider_id: str,
         unit_names: Dict[str, str],
+        retry=None,
     ) -> Generator:
         """The traditional alternative: stop the whole middleware, fetch
         every component, reinstall, restart (generator helper).
@@ -164,7 +169,8 @@ class UpdateManager(Component):
             if kind in _ESSENTIAL:
                 continue
             capsule = yield from cod.fetch(
-                provider_id, [unit_name], install=True, pinned=True
+                provider_id, [unit_name], install=True, pinned=True,
+                retry=retry,
             )
             total_bytes += capsule.size_bytes
             unit = capsule.code_unit(unit_name)

@@ -66,6 +66,7 @@ DEFAULT_DIRECTIONS: Tuple[Tuple[str, Optional[str]], ...] = (
     ("*timeouts*", "lower"),
     ("*rejections*", "lower"),
     ("*errors*", "lower"),
+    ("*retries*", "lower"),
     ("*money*", "lower"),
     ("*bytes*", "lower"),
     ("*retransmissions*", "lower"),

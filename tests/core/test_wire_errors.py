@@ -1,0 +1,102 @@
+"""Round-trip tests for the exception <-> wire marshalling registry.
+
+The registry in :mod:`repro.errors` is the single place wire error
+payloads are shaped; these tests pin the contract the invocation
+pipeline relies on: registered types survive the trip intact, foreign
+and unknown types degrade to :class:`RemoteExecutionError` with the
+remote text preserved.
+"""
+
+import pytest
+
+from repro.errors import (
+    MigrationError,
+    RemoteExecutionError,
+    ReproError,
+    ServiceNotFound,
+    UnitNotFound,
+    WIRE_ERROR_KEY,
+    WIRE_REMOTE_KEY,
+    WIRE_TYPE_KEY,
+    from_wire,
+    remote_failure,
+    to_wire,
+    wire_error_types,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "cls", [ServiceNotFound, UnitNotFound, MigrationError]
+    )
+    def test_registered_types_reconstruct_as_themselves(self, cls):
+        rebuilt = from_wire(to_wire(cls("no such thing")))
+        assert type(rebuilt) is cls
+        assert "no such thing" in str(rebuilt)
+
+    def test_payload_shape(self):
+        payload = to_wire(ServiceNotFound("gone"))
+        assert payload[WIRE_TYPE_KEY] == "ServiceNotFound"
+        assert payload[WIRE_ERROR_KEY] == "gone"
+        assert WIRE_REMOTE_KEY not in payload
+
+    def test_remote_execution_error_preserves_remote_text(self):
+        original = RemoteExecutionError(
+            "unit crashed", remote_error="ZeroDivisionError: division by zero"
+        )
+        rebuilt = from_wire(to_wire(original))
+        assert type(rebuilt) is RemoteExecutionError
+        assert rebuilt.remote_error == "ZeroDivisionError: division by zero"
+
+    def test_empty_message_falls_back_to_class_name(self):
+        rebuilt = from_wire(to_wire(MigrationError()))
+        assert type(rebuilt) is MigrationError
+        assert str(rebuilt) == "MigrationError"
+
+
+class TestFallbacks:
+    def test_unknown_error_type_degrades_to_remote_execution_error(self):
+        payload = {WIRE_ERROR_KEY: "zap", WIRE_TYPE_KEY: "FrobnicationError"}
+        rebuilt = from_wire(payload)
+        assert type(rebuilt) is RemoteExecutionError
+        assert rebuilt.remote_error == "zap"
+
+    def test_foreign_exception_keeps_traceback_style_text(self):
+        rebuilt = from_wire(to_wire(ValueError("boom")))
+        assert type(rebuilt) is RemoteExecutionError
+        assert str(rebuilt) == "ValueError: boom"
+        assert rebuilt.remote_error == "ValueError: boom"
+
+    def test_remote_failure_always_rebuilds_as_remote_execution_error(self):
+        # Even when the remote side knew the original type name, a
+        # text-only failure cannot be faithfully reconstructed.
+        payload = remote_failure("KeyError: 'x'", error_type="KeyError")
+        rebuilt = from_wire(payload)
+        assert type(rebuilt) is RemoteExecutionError
+        assert rebuilt.remote_error == "KeyError: 'x'"
+
+    @pytest.mark.parametrize("payload", [None, {}])
+    def test_degenerate_payloads(self, payload):
+        rebuilt = from_wire(payload)
+        assert type(rebuilt) is RemoteExecutionError
+        assert str(rebuilt) == "remote failure"
+
+
+class TestRegistry:
+    def test_repro_subclasses_register_automatically(self):
+        class _WireProbeError(ReproError):
+            pass
+
+        assert wire_error_types()["_WireProbeError"] is _WireProbeError
+        rebuilt = from_wire(to_wire(_WireProbeError("probe")))
+        assert type(rebuilt) is _WireProbeError
+
+    def test_strict_constructor_subclass_falls_back(self):
+        class _StrictError(ReproError):
+            def __init__(self, code: int, extra: str) -> None:
+                super().__init__(f"{code}:{extra}")
+
+        payload = to_wire(_StrictError(7, "x"))
+        rebuilt = from_wire(payload)
+        assert type(rebuilt) is RemoteExecutionError
+        assert "7:x" in str(rebuilt)

@@ -1,0 +1,44 @@
+"""Static guard: wire error payloads are shaped only in ``repro.errors``.
+
+Walks the AST of every module under ``src/repro/core`` and fails if any
+of them builds a dict literal with an ``"error_type"`` key — the
+signature of hand-rolled wire marshalling that :func:`repro.errors
+.to_wire` / :func:`~repro.errors.from_wire` exist to centralise.
+"""
+
+import ast
+from pathlib import Path
+
+from repro.errors import WIRE_TYPE_KEY
+
+CORE_DIR = (
+    Path(__file__).resolve().parents[2] / "src" / "repro" / "core"
+)
+
+
+def _offending_dicts(tree: ast.AST):
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Dict):
+            continue
+        for key in node.keys:
+            if (
+                isinstance(key, ast.Constant)
+                and key.value == WIRE_TYPE_KEY
+            ):
+                yield node
+
+
+def test_core_dir_exists():
+    assert CORE_DIR.is_dir(), CORE_DIR
+
+
+def test_no_raw_wire_payload_dicts_in_core():
+    offenders = []
+    for path in sorted(CORE_DIR.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in _offending_dicts(tree):
+            offenders.append(f"{path.name}:{node.lineno}")
+    assert not offenders, (
+        "raw {'error_type': ...} wire payload dict(s) found outside "
+        f"repro.errors — use to_wire/remote_failure instead: {offenders}"
+    )
