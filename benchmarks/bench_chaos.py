@@ -1,0 +1,58 @@
+"""Chaos benchmark — recovery under the standard fault plan, gated.
+
+Runs the :mod:`repro.faults.chaos` echo workload twice under the
+standard fault schedule (link flap, crash/restart, partition/heal,
+drop/duplicate/delay/corrupt windows) and enforces two properties:
+
+* **Recovery**: the completion rate stays at or above the 95% floor,
+  and the retry/stale-reply tallies stay under their ceilings — all
+  encoded in ``benchmarks/baselines/chaos.json`` and checked by the
+  shared ``gate_against_baseline`` diff (the same comparison CI
+  re-runs as ``python -m repro compare --fail-on regress``).
+* **Determinism**: the two same-seed runs must produce bit-identical
+  metrics — chaos results are only diffable because the whole faulted
+  trajectory is a pure function of the seed.
+
+``--quick`` shrinks the fleet and request count for CI smoke runs; the
+floor document applies to both sizes (its ceilings are sized for the
+full run, which the quick run sits comfortably under).
+"""
+
+from __future__ import annotations
+
+from repro.faults import run_chaos
+
+from _common import gate_against_baseline, quick, write_report_data
+
+SEED = 7
+
+
+def _params():
+    if quick():
+        return dict(clients=3, servers=2, requests_per_client=4)
+    return dict(clients=4, servers=2, requests_per_client=6)
+
+
+def test_chaos_recovery_gate():
+    params = _params()
+    first = run_chaos(seed=SEED, **params)
+    second = run_chaos(seed=SEED, **params)
+
+    # Determinism first: a nondeterministic chaos run is ungateable.
+    assert first.summary == second.summary, (
+        "same-seed chaos runs diverged — fault injection or workload "
+        "consumed nondeterministic state"
+    )
+
+    write_report_data(
+        "chaos", metrics=first.report["metrics"], params=first.report["params"]
+    )
+    diff = gate_against_baseline("chaos")
+    print(
+        f"\nchaos: {first.completed}/{first.requests} requests completed "
+        f"({first.completion_rate:.0%}) through {first.report['params']['faults']} "
+        f"faults; {first.app_retries} app retries, "
+        f"{int(first.summary.get('paradigm.cs.retries', 0))} pipeline retries, "
+        f"{int(first.summary.get('host.stale_replies', 0))} stale replies "
+        f"discarded ({len(diff.deltas)} gated metrics)"
+    )

@@ -123,7 +123,9 @@ def run_functional_checks():
             yield from phone.admit_capsule(capsule, "install-code")
         except SignatureInvalid:
             rejected["tampered"] = True
-        stranger = KeyPair.generate("stranger")
+        stranger = KeyPair.generate(
+            "stranger", world.streams.stream("keys.stranger")
+        )
         fresh = make_capsule(10_000)
         sign_capsule(stranger, fresh)
         try:

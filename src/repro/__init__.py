@@ -35,6 +35,7 @@ Subpackages:
 * :mod:`repro.lmu`        — logical mobility units, capsules, codebases;
 * :mod:`repro.security`   — signatures, trust, policy, sandbox;
 * :mod:`repro.core`       — the middleware itself;
+* :mod:`repro.faults`     — deterministic fault injection and chaos;
 * :mod:`repro.tuplespace` — Linda/Lime data-sharing baseline;
 * :mod:`repro.apps`       — the paper's five scenario applications;
 * :mod:`repro.workloads`  — experiment workload generators;

@@ -10,6 +10,7 @@ battery for everything executed locally.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Callable, Dict, Generator, Optional, Tuple
 
 from ..errors import (
@@ -73,6 +74,16 @@ class MobileHost:
         self.components: Dict[str, Component] = {}
         self._handlers: Dict[str, MessageHandler] = {}
         self._pending: Dict[int, Event] = {}
+        #: Correlation ids of requests this host issued and has since
+        #: closed (resolved, timed out, or abandoned on a send error),
+        #: mapped to the request's message kind.  A late or duplicate
+        #: reply to a closed request is *stale*: it must be discarded
+        #: here, not fall through to the kind handlers where it could
+        #: double-resolve work (the chaos duplicate-delivery injector
+        #: is the reproducer).  Bounded FIFO so a long run cannot grow
+        #: it without limit.
+        self._closed_requests: "OrderedDict[int, str]" = OrderedDict()
+        self._closed_requests_limit = 1024
         #: CS services offered locally: name -> (handler, work units).
         self.services: Dict[str, Tuple[ServiceHandler, float]] = {}
         self.context = ContextRegistry(now=lambda: self.env.now)
@@ -213,12 +224,12 @@ class MobileHost:
         try:
             yield self.send(message)
         except (Unreachable, TransportTimeout) as error:
-            self._pending.pop(message.id, None)
+            self._close_request(message)
             tracer.finish(span, status="error", error=type(error).__name__)
             raise
         timeout_event = self.env.timeout(timeout)
         fired = yield self.env.any_of([reply_event, timeout_event])
-        self._pending.pop(message.id, None)
+        self._close_request(message)
         if reply_event in fired:
             self.world.metrics.histogram("host.request_rtt").observe(
                 self.env.now - started
@@ -230,6 +241,41 @@ class MobileHost:
         raise RequestTimeout(
             f"{self.id}: no reply to {message.kind} #{message.id} from "
             f"{message.destination} within {timeout}s"
+        )
+
+    def _close_request(self, message: Message) -> None:
+        """Retire a request's correlation id (every ``request`` exit).
+
+        The id moves from the pending map to the bounded closed set so
+        the dispatch loop can tell a *stale* reply (late duplicate to a
+        request already resolved or abandoned) from a reply correlating
+        with someone else's exchange.
+        """
+        self._pending.pop(message.id, None)
+        closed = self._closed_requests
+        closed[message.id] = message.kind
+        if len(closed) > self._closed_requests_limit:
+            closed.popitem(last=False)
+
+    def _discard_stale_reply(self, message: Message) -> None:
+        """Count and trace a reply to an already-closed request."""
+        request_kind = self._closed_requests[message.in_reply_to]
+        metrics = self.world.metrics
+        metrics.counter("host.stale_replies").increment()
+        # Attribute the drop to the paradigm whose exchange it was,
+        # when the request kind's prefix names an installed paradigm
+        # component ("cs.request" -> paradigm "cs", ...).
+        prefix = request_kind.split(".", 1)[0]
+        component = self.components.get(prefix)
+        paradigm = getattr(component, "paradigm", None)
+        if paradigm:
+            metrics.counter(f"paradigm.{paradigm}.stale_replies").increment()
+        self.world.trace.emit(
+            self.env.now,
+            self.id,
+            "host.stale_reply",
+            msg=message.kind,
+            in_reply_to=message.in_reply_to,
         )
 
     def reply_to(
@@ -300,13 +346,26 @@ class MobileHost:
             message = yield self.node.inbox.get()
             if not self.node.up:
                 continue
-            if (
-                message.in_reply_to is not None
-                and message.in_reply_to in self._pending
-            ):
-                event = self._pending.pop(message.in_reply_to)
-                event.succeed(message)
+            if message.corrupted:
+                # Checksum model: damaged payloads are detected and
+                # dropped at the receiver, whatever their kind.
+                self.world.metrics.counter("host.corrupt_discarded").increment()
+                self.world.trace.emit(
+                    self.env.now, self.id, "host.corrupt_discarded",
+                    msg=message.kind,
+                )
                 continue
+            if message.in_reply_to is not None:
+                if message.in_reply_to in self._pending:
+                    event = self._pending.pop(message.in_reply_to)
+                    event.succeed(message)
+                    continue
+                if message.in_reply_to in self._closed_requests:
+                    self._discard_stale_reply(message)
+                    continue
+                # Replies correlating with exchanges this host never
+                # issued through ``request`` (e.g. discovery's
+                # broadcast round) fall through to the kind handlers.
             if message.kind == "net.relay":
                 continue  # router plumbing that lost its reclaim race
             handler = self._handlers.get(message.kind)

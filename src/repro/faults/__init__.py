@@ -1,0 +1,49 @@
+"""Deterministic fault injection for the simulated middleware.
+
+Declare *what breaks and when* as a :class:`FaultPlan`, arm it on a
+world with :meth:`FaultPlan.inject`, and run: link flaps, crash/restart
+churn, partitions, and message-level drop/duplicate/delay/corrupt
+windows all fire at their scheduled sim-times, driven by dedicated RNG
+streams so runs stay bit-reproducible.  :mod:`repro.faults.chaos` adds
+the harness that runs a workload under a plan and asserts the stack's
+recovery invariants.  See docs/ROBUSTNESS.md.
+"""
+
+from .chaos import (
+    ChaosOutcome,
+    build_fleet,
+    chaos_task,
+    run_chaos,
+    standard_plan,
+    verify_agent_reroute,
+    verify_discovery_recovery,
+    verify_local_degradation,
+    verify_retry_convergence,
+)
+from .injectors import FaultInjector, inject
+from .plan import (
+    FAULT_KINDS,
+    MESSAGE_FAULT_KINDS,
+    TOPOLOGY_FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+)
+
+__all__ = [
+    "ChaosOutcome",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "MESSAGE_FAULT_KINDS",
+    "TOPOLOGY_FAULT_KINDS",
+    "build_fleet",
+    "chaos_task",
+    "inject",
+    "run_chaos",
+    "standard_plan",
+    "verify_agent_reroute",
+    "verify_discovery_recovery",
+    "verify_local_degradation",
+    "verify_retry_convergence",
+]

@@ -45,6 +45,10 @@ class Message:
     #: across hosts, like distributed-tracing headers.  Observability
     #: only: carries no modelled wire bytes.
     trace_context: Optional[Dict[str, int]] = None
+    #: Set by the fault-injection layer: the payload was damaged in
+    #: transit.  Receivers model a checksum pass — a corrupted message
+    #: is discarded at dispatch, never handled.
+    corrupted: bool = False
 
     @property
     def wire_size(self) -> int:

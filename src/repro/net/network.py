@@ -132,6 +132,12 @@ class Network:
         self._path_cache: Dict[Tuple[str, str, bool], object] = {}
         self._coverage_cache: Dict[Tuple[str, str], bool] = {}
         self.cache_stats = {"hits": 0, "misses": 0, "invalidations": 0}
+        #: Optional admission predicate over (sender id, receiver id):
+        #: when set, pairs it rejects have no links at all — the
+        #: injection point :mod:`repro.faults` uses to model network
+        #: partitions.  Installing/clearing it bumps the topology epoch
+        #: so every cached connectivity answer is recomputed.
+        self._link_filter: Optional[Callable[[str, str], bool]] = None
 
     def add_node(self, node: NetworkNode) -> NetworkNode:
         if node.id in self.nodes:
@@ -178,6 +184,25 @@ class Network:
             "invalidations": float(self.cache_stats["invalidations"]),
             "grid_cell_m": self._grid.cell_size,
         }
+
+    @property
+    def link_filter(self) -> Optional[Callable[[str, str], bool]]:
+        return self._link_filter
+
+    def set_link_filter(
+        self, predicate: Optional[Callable[[str, str], bool]]
+    ) -> None:
+        """Install (or with ``None`` clear) the link admission filter.
+
+        The predicate sees ``(sender id, receiver id)`` and returns
+        False to sever every link between the pair.  It must be pure
+        with respect to the topology epoch: the filter's answers are
+        baked into the connectivity caches, so whoever mutates the
+        predicate's underlying state must call this setter again (each
+        call bumps the epoch).
+        """
+        self._link_filter = predicate
+        self._epoch += 1
 
     def _note_range(self, technology: LinkTechnology) -> None:
         if technology.range_m > self._grid.cell_size:
@@ -233,6 +258,8 @@ class Network:
 
     def _compute_links(self, a: NetworkNode, b: NetworkNode) -> Tuple[Link, ...]:
         if not (a.up and b.up):
+            return ()
+        if self._link_filter is not None and not self._link_filter(a.id, b.id):
             return ()
         links: List[Link] = []
         a_ifaces = a.usable_interfaces()
@@ -396,9 +423,14 @@ class Network:
                 for node in self.nodes.values()
                 if node.up and self._has_backbone_access(node)
             ]
+            link_filter = self._link_filter
             for index, a in enumerate(attached):
                 a_bucket = sets[a.id]
                 for b in attached[index + 1 :]:
+                    if link_filter is not None and not (
+                        link_filter(a.id, b.id) and link_filter(b.id, a.id)
+                    ):
+                        continue
                     a_bucket.add(b.id)
                     sets[b.id].add(a.id)
         graph = {

@@ -48,6 +48,12 @@ class Transport:
         )
         self.policy = policy
         self._rng = streams.stream("transport.loss")
+        #: Optional message-fault hook (see :mod:`repro.faults`): when
+        #: attached it may force extra loss before the delivery
+        #: decision and reshape deliveries (delay/duplicate/corrupt)
+        #: after it.  ``None`` keeps the pre-fault behaviour and RNG
+        #: draw order bit-identical.
+        self.faults: Optional[object] = None
 
     # -- public sends ---------------------------------------------------------
 
@@ -158,6 +164,11 @@ class Transport:
             self._pick_link(source, destination, prefer_free_then_fast) is not None
         )
         lost = self._rng.random() < link.loss
+        reason = "loss" if lost else "disconnected"
+        faults = self.faults
+        if faults is not None and not lost and faults.drops(message):
+            lost = True
+            reason = "fault"
         if not destination.up or not still_connected or lost:
             self.metrics.counter("net.messages_lost").increment()
             self.trace.emit(
@@ -166,13 +177,9 @@ class Transport:
                 "net.lost",
                 to=destination.id,
                 msg=message.kind,
-                reason="loss" if lost else "disconnected",
+                reason=reason,
             )
-            self.tracer.finish(
-                span,
-                status="lost",
-                reason="loss" if lost else "disconnected",
-            )
+            self.tracer.finish(span, status="lost", reason=reason)
             return False
         destination.costs.account_transfer(
             link.receiver_technology, message.wire_size, sent=False
@@ -193,7 +200,12 @@ class Transport:
             bytes=message.wire_size,
         )
         self.tracer.finish(span)
-        yield destination.inbox.put(message)
+        if faults is None:
+            yield destination.inbox.put(message)
+        else:
+            # The hook may delay the copy, add duplicates, or mark the
+            # payload corrupted; it owns the inbox put(s).
+            yield from faults.deliver(message, destination)
         return True
 
     def _send_reliable(

@@ -47,8 +47,15 @@ DEFAULT_DIRECTIONS: Tuple[Tuple[str, Optional[str]], ...] = (
     ("*grid_cell*", None),
     ("*invalidations*", None),
     ("*cache_size*", None),
+    # Injected-fault tallies describe the scenario, not the system
+    # under test (and must shadow e.g. the *latency* rule for
+    # faults.extra_latency); ditto the checksum discards they force.
+    ("faults.*", None),
+    ("*corrupt_discarded*", None),
     # Higher is better: useful work and cache effectiveness.
     ("*speedup*", "higher"),
+    ("*completion_rate*", "higher"),
+    ("*completed*", "higher"),
     ("*hits*", "higher"),
     ("*served*", "higher"),
     ("*delivered*", "higher"),
@@ -67,6 +74,8 @@ DEFAULT_DIRECTIONS: Tuple[Tuple[str, Optional[str]], ...] = (
     ("*rejections*", "lower"),
     ("*errors*", "lower"),
     ("*retries*", "lower"),
+    ("*stale_replies*", "lower"),
+    ("*failed*", "lower"),
     ("*money*", "lower"),
     ("*bytes*", "lower"),
     ("*retransmissions*", "lower"),

@@ -76,9 +76,20 @@ class KeyPair:
         self.public_key = PublicKey(principal, secret)
 
     @classmethod
-    def generate(cls, principal: str, rng: Optional[random.Random] = None) -> "KeyPair":
-        """A fresh key pair; pass a seeded ``rng`` for reproducible runs."""
-        rng = rng or random.Random()
+    def generate(cls, principal: str, rng: random.Random) -> "KeyPair":
+        """A fresh key pair, minted from the caller's seeded ``rng``.
+
+        The rng is mandatory: an implicit ``random.Random()`` fallback
+        would mint OS-entropy keys, silently breaking whole-run
+        reproducibility (fingerprints, trust decisions, and capsule
+        sizes would differ between same-seed runs).  Draw from a named
+        world stream, e.g. ``world.streams.stream(f"keys.{principal}")``.
+        """
+        if rng is None:
+            raise ValueError(
+                "KeyPair.generate requires a seeded rng; keys minted from "
+                "ambient entropy are not reproducible"
+            )
         secret = bytes(rng.getrandbits(8) for _ in range(32))
         return cls(principal, secret)
 

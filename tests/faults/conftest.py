@@ -1,0 +1,54 @@
+"""Shared fixtures for fault-injection tests."""
+
+import pytest
+
+from repro.core import World, mutual_trust, standard_host
+from repro.net import GPRS, LAN, Position, WIFI_ADHOC
+
+
+def loss_free(world):
+    """Disable stochastic transport loss: injected faults become the
+    only source of disruption, making assertions exact."""
+    world.transport._rng.random = lambda: 0.999
+    return world
+
+
+def run(world, generator):
+    """Run a generator as a process to completion; return its value."""
+    process = world.env.process(generator)
+    return world.run(until=process)
+
+
+@pytest.fixture
+def world():
+    return loss_free(World(seed=42))
+
+
+@pytest.fixture
+def adhoc_nodes(world):
+    """Two bare nodes (no middleware host, no dispatch loop), so tests
+    can inspect raw inbox contents."""
+    a = world.add_node("na", Position(0, 0), [WIFI_ADHOC])
+    b = world.add_node("nb", Position(20, 0), [WIFI_ADHOC])
+    return a, b
+
+
+@pytest.fixture
+def adhoc_pair(world):
+    """Two mutually trusting hosts in Wi-Fi ad-hoc range."""
+    a = standard_host(world, "a", Position(0, 0), [WIFI_ADHOC])
+    b = standard_host(world, "b", Position(20, 0), [WIFI_ADHOC])
+    mutual_trust(a, b)
+    return a, b
+
+
+@pytest.fixture
+def phone_and_server(world):
+    """A GPRS phone (attached) and a fixed LAN server."""
+    phone = standard_host(world, "phone", Position(0, 0), [GPRS], cpu_speed=0.2)
+    server = standard_host(
+        world, "server", Position(0, 0), [LAN], fixed=True, cpu_speed=2.0
+    )
+    mutual_trust(phone, server)
+    phone.node.interface("gprs").attach()
+    return phone, server

@@ -1,0 +1,247 @@
+"""Kernel-level behaviour of the fault injector."""
+
+import pytest
+
+from repro.core import World, standard_host
+from repro.errors import RequestTimeout
+from repro.faults import FaultPlan
+from repro.net import Message, Position, WIFI_ADHOC
+
+from .conftest import loss_free, run
+
+
+class TestTopologyFaults:
+    def test_crash_and_restart(self, world, adhoc_pair):
+        a, b = adhoc_pair
+        FaultPlan().crash([b.id], at=5.0, down_s=10.0).inject(world)
+        world.run(until=6.0)
+        assert not b.node.up
+        world.run(until=16.0)
+        assert b.node.up
+        assert world.metrics.counter("faults.crash").value == 1
+        assert world.metrics.counter("faults.restart").value == 1
+
+    def test_crash_without_restart_is_permanent(self, world, adhoc_pair):
+        _a, b = adhoc_pair
+        FaultPlan().crash([b.id], at=5.0).inject(world)
+        world.run(until=100.0)
+        assert not b.node.up
+
+    def test_link_flap_restores_attachment(self, world, phone_and_server):
+        phone, _server = phone_and_server
+        gprs = phone.node.interface("gprs")
+        assert gprs.attached
+        FaultPlan().link_flap([phone.id], at=2.0, down_s=4.0).inject(world)
+        world.run(until=3.0)
+        assert not gprs.enabled
+        assert not gprs.attached
+        world.run(until=20.0)
+        assert gprs.enabled
+        assert gprs.attached
+
+    def test_link_flap_bumps_topology_epoch(self, world, adhoc_pair):
+        a, _b = adhoc_pair
+        FaultPlan().link_flap([a.id], at=1.0, down_s=1.0).inject(world)
+        before = world.network.topology_epoch
+        world.run(until=1.5)
+        assert world.network.topology_epoch > before
+
+    def test_partition_severs_and_heals(self, world, adhoc_pair):
+        a, b = adhoc_pair
+        FaultPlan().partition(
+            [[a.id], [b.id]], at=5.0, duration=10.0
+        ).inject(world)
+        world.run(until=1.0)
+        assert world.network.best_link(a.node, b.node) is not None
+        world.run(until=6.0)
+        assert world.network.best_link(a.node, b.node) is None
+        world.run(until=16.0)
+        assert world.network.best_link(a.node, b.node) is not None
+        assert world.metrics.counter("faults.partition").value == 1
+        assert world.metrics.counter("faults.heal").value == 1
+
+    def test_partition_spares_unlisted_nodes(self, world):
+        a = standard_host(world, "a", Position(0, 0), [WIFI_ADHOC])
+        b = standard_host(world, "b", Position(20, 0), [WIFI_ADHOC])
+        c = standard_host(world, "c", Position(40, 0), [WIFI_ADHOC])
+        FaultPlan().partition(
+            [[a.id], [b.id]], at=0.0, duration=10.0
+        ).inject(world)
+        world.run(until=1.0)
+        assert world.network.best_link(a.node, b.node) is None
+        assert world.network.best_link(a.node, c.node) is not None
+        assert world.network.best_link(b.node, c.node) is not None
+
+    def test_repeating_fault_refires(self, world, adhoc_pair):
+        _a, b = adhoc_pair
+        FaultPlan().crash(
+            [b.id], at=2.0, down_s=1.0, repeat=3, period=10.0
+        ).inject(world)
+        world.run(until=40.0)
+        assert world.metrics.counter("faults.crash").value == 3
+        assert world.metrics.counter("faults.restart").value == 3
+        assert b.node.up
+
+    def test_topology_only_plan_leaves_transport_unhooked(
+        self, world, adhoc_pair
+    ):
+        _a, b = adhoc_pair
+        FaultPlan().crash([b.id], at=1.0, down_s=1.0).inject(world)
+        assert world.transport.faults is None
+
+
+class TestMessageFaults:
+    def message(self, a, b):
+        return Message(source=a.id, destination=b.id, kind="x.ping")
+
+    def test_drop_window_forces_loss_then_clears(self, world, adhoc_pair):
+        a, b = adhoc_pair
+        FaultPlan().drop(at=0.0, duration=5.0, rate=1.0).inject(world)
+
+        def scenario():
+            delivered = yield world.transport.send(self.message(a, b))
+            assert delivered is False
+            yield world.env.timeout(6.0 - world.now)
+            delivered = yield world.transport.send(self.message(a, b))
+            assert delivered is True
+
+        run(world, scenario())
+        assert world.metrics.counter("faults.messages_dropped").value == 1
+
+    def test_reliable_send_recovers_from_drop_window(self, world, adhoc_nodes):
+        a, b = adhoc_nodes
+        # The window closes after the first attempt; ARQ retransmits.
+        FaultPlan().drop(at=0.0, duration=0.01, rate=1.0).inject(world)
+
+        def scenario():
+            attempts = yield world.transport.send_reliable(
+                self.message(a, b), max_attempts=4
+            )
+            return attempts
+
+        attempts = run(world, scenario())
+        assert attempts > 1
+        assert len(b.inbox.items) == 1
+
+    def test_drop_scoped_by_message_kind(self, world, adhoc_pair):
+        a, b = adhoc_pair
+        FaultPlan().drop(
+            at=0.0, duration=5.0, rate=1.0, message_kinds=("y.*",)
+        ).inject(world)
+
+        def scenario():
+            delivered = yield world.transport.send(self.message(a, b))
+            assert delivered is True
+
+        run(world, scenario())
+
+    def test_delay_postpones_arrival_without_slowing_sender(
+        self, world, adhoc_nodes
+    ):
+        a, b = adhoc_nodes
+        FaultPlan().delay(at=0.0, duration=5.0, extra_s=2.0).inject(world)
+        times = {}
+
+        def receiver():
+            yield b.inbox.get()
+            times["arrival"] = world.now
+
+        def sender():
+            delivered = yield world.transport.send(self.message(a, b))
+            times["acked"] = world.now
+            assert delivered is True
+
+        world.env.process(receiver())
+        run(world, sender())
+        world.run(until=10.0)
+        assert times["arrival"] >= times["acked"] + 2.0
+        assert world.metrics.counter("faults.messages_delayed").value == 1
+
+    def test_duplicate_delivers_two_copies(self, world, adhoc_nodes):
+        a, b = adhoc_nodes
+        FaultPlan().duplicate(
+            at=0.0, duration=5.0, rate=1.0, delay_s=0.5
+        ).inject(world)
+
+        def scenario():
+            yield world.transport.send(self.message(a, b))
+
+        run(world, scenario())
+        world.run(until=10.0)
+        copies = [m for m in b.inbox.items if m.kind == "x.ping"]
+        assert len(copies) == 2
+        assert copies[0].id == copies[1].id  # same logical message
+        assert world.metrics.counter("faults.messages_duplicated").value == 1
+
+    def test_corrupt_marks_message(self, world, adhoc_nodes):
+        a, b = adhoc_nodes
+        FaultPlan().corrupt(at=0.0, duration=5.0, rate=1.0).inject(world)
+
+        def scenario():
+            delivered = yield world.transport.send(self.message(a, b))
+            assert delivered is True
+
+        run(world, scenario())
+        (received,) = b.inbox.items
+        assert received.corrupted
+        assert world.metrics.counter("faults.messages_corrupted").value == 1
+
+    def test_corrupted_request_discarded_then_times_out(
+        self, world, adhoc_pair
+    ):
+        a, b = adhoc_pair
+        FaultPlan().corrupt(
+            at=0.0, duration=60.0, rate=1.0, message_kinds=("cs.request",)
+        ).inject(world)
+
+        def scenario():
+            with pytest.raises(RequestTimeout):
+                yield from a.components["cs"].call(
+                    b.id, "anything", timeout=3.0
+                )
+
+        run(world, scenario())
+        assert world.metrics.counter("host.corrupt_discarded").value >= 1
+
+
+class TestDeterminism:
+    def chaos_fingerprint(self, seed):
+        from repro.faults import run_chaos
+
+        return run_chaos(seed=seed).summary
+
+    def test_same_seed_same_metrics(self):
+        assert self.chaos_fingerprint(13) == self.chaos_fingerprint(13)
+
+    def test_different_seed_differs(self):
+        assert self.chaos_fingerprint(13) != self.chaos_fingerprint(14)
+
+    def test_arming_plan_does_not_perturb_unfaulted_run(self):
+        """A plan whose windows never match any message must not change
+        the trajectory of an otherwise identical run (separate streams,
+        no draws on non-matching traffic)."""
+
+        def trajectory(with_plan):
+            world = loss_free(World(seed=21))
+            a = standard_host(world, "a", Position(0, 0), [WIFI_ADHOC])
+            b = standard_host(world, "b", Position(20, 0), [WIFI_ADHOC])
+            if with_plan:
+                FaultPlan().drop(
+                    at=0.0, duration=1000.0, rate=0.5,
+                    message_kinds=("never.*",),
+                ).inject(world)
+
+            def scenario():
+                result = yield from a.components["cs"].call(
+                    b.id, "echo", args=1, timeout=5.0
+                )
+                return result
+
+            b.register_service("echo", lambda args, host: (args, 8))
+            run(world, scenario())
+            return world.summary()
+
+        baseline = trajectory(with_plan=False)
+        armed = trajectory(with_plan=True)
+        for key, value in baseline.items():
+            assert armed[key] == value, key

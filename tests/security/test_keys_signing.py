@@ -62,6 +62,24 @@ class TestKeyPair:
         with pytest.raises(ValueError):
             KeyPair("", b"secret")
 
+    def test_generate_requires_rng(self):
+        # The old `rng or random.Random()` fallback minted OS-entropy
+        # keys, silently breaking same-seed reproducibility.
+        with pytest.raises(TypeError):
+            KeyPair.generate("vendor")
+        with pytest.raises(ValueError):
+            KeyPair.generate("vendor", None)
+
+    def test_same_seed_worlds_mint_identical_keys(self):
+        from repro.core import World, standard_host
+
+        fingerprints = []
+        for _run in range(2):
+            world = World(seed=99)
+            host = standard_host(world, "phone")
+            fingerprints.append(host.keypair.public_key.fingerprint())
+        assert fingerprints[0] == fingerprints[1]
+
     def test_fingerprint_stable(self):
         keys = make_keypair()
         assert keys.public_key.fingerprint() == keys.public_key.fingerprint()
