@@ -210,6 +210,24 @@ def write_report_data(
     return path
 
 
+def write_report_document(name: str, document: dict) -> str:
+    """Write an already-captured RunReport dict verbatim.
+
+    For benches whose harness captures the report itself (e.g.
+    ``run_chaos``): the full document — spans included, so ``python -m
+    repro trace`` works on the result — lands at
+    ``benchmarks/results/<name>.json`` and its metrics are appended to
+    the trajectory log, exactly like :func:`write_report`.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as handle:
+        handle.write(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    metrics = document.get("metrics") or {}
+    append_trajectory(name, metrics, params=document.get("params"))
+    return path
+
+
 def write_result(name: str, text: str) -> str:
     """Persist a rendered table under benchmarks/results/ and echo it."""
     os.makedirs(RESULTS_DIR, exist_ok=True)

@@ -2,7 +2,7 @@
 
 Runs the :mod:`repro.faults.chaos` echo workload twice under the
 standard fault schedule (link flap, crash/restart, partition/heal,
-drop/duplicate/delay/corrupt windows) and enforces two properties:
+drop/duplicate/delay/corrupt windows) and enforces three properties:
 
 * **Recovery**: the completion rate stays at or above the 95% floor,
   and the retry/stale-reply tallies stay under their ceilings — all
@@ -10,8 +10,13 @@ drop/duplicate/delay/corrupt windows) and enforces two properties:
   shared ``gate_against_baseline`` diff (the same comparison CI
   re-runs as ``python -m repro compare --fail-on regress``).
 * **Determinism**: the two same-seed runs must produce bit-identical
-  metrics — chaos results are only diffable because the whole faulted
-  trajectory is a pure function of the seed.
+  metrics *and* bit-identical trace analyses — chaos results are only
+  diffable because the whole faulted trajectory is a pure function of
+  the seed.
+* **Trace health**: the runs capture causal spans, so the written
+  report is a full document ``python -m repro trace`` can analyse; the
+  per-invocation latency attribution must reconcile with the
+  ``paradigm.<kind>.seconds`` histograms even under injected faults.
 
 ``--quick`` shrinks the fleet and request count for CI smoke runs; the
 floor document applies to both sizes (its ceilings are sized for the
@@ -21,8 +26,9 @@ full run, which the quick run sits comfortably under).
 from __future__ import annotations
 
 from repro.faults import run_chaos
+from repro.obs import TraceAnalysis
 
-from _common import gate_against_baseline, quick, write_report_data
+from _common import gate_against_baseline, quick, write_report_document
 
 SEED = 7
 
@@ -35,18 +41,30 @@ def _params():
 
 def test_chaos_recovery_gate():
     params = _params()
-    first = run_chaos(seed=SEED, **params)
-    second = run_chaos(seed=SEED, **params)
+    first = run_chaos(seed=SEED, spans_enabled=True, **params)
+    second = run_chaos(seed=SEED, spans_enabled=True, **params)
 
     # Determinism first: a nondeterministic chaos run is ungateable.
     assert first.summary == second.summary, (
         "same-seed chaos runs diverged — fault injection or workload "
         "consumed nondeterministic state"
     )
-
-    write_report_data(
-        "chaos", metrics=first.report["metrics"], params=first.report["params"]
+    # Span *ids* are process-global (they differ between the two runs),
+    # but every derived analysis metric is pure sim-time arithmetic and
+    # must match bit for bit.
+    first_trace = TraceAnalysis.from_report(first.report)
+    second_trace = TraceAnalysis.from_report(second.report)
+    assert first_trace.metrics() == second_trace.metrics(), (
+        "same-seed chaos runs produced different trace analytics"
     )
+    problems = first_trace.problems(first.report["metrics"])
+    assert not problems, (
+        "trace attribution failed to reconcile:\n" + "\n".join(problems)
+    )
+
+    # Full document (spans included), so `python -m repro trace chaos`
+    # works on the written result.
+    write_report_document("chaos", first.report)
     diff = gate_against_baseline("chaos")
     print(
         f"\nchaos: {first.completed}/{first.requests} requests completed "
@@ -54,5 +72,6 @@ def test_chaos_recovery_gate():
         f"faults; {first.app_retries} app retries, "
         f"{int(first.summary.get('paradigm.cs.retries', 0))} pipeline retries, "
         f"{int(first.summary.get('host.stale_replies', 0))} stale replies "
-        f"discarded ({len(diff.deltas)} gated metrics)"
+        f"discarded ({len(diff.deltas)} gated metrics); critical path p99 "
+        f"{first_trace.metrics()['trace.critical_path.p99'] * 1000:.1f}ms"
     )

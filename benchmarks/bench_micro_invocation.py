@@ -10,6 +10,14 @@ pre-pipeline caller would have written.  The gated ``overhead_ratio``
 (pipeline per-call time over direct per-call time) keeps the
 convenience layer honest: it must stay a thin wrapper, not become the
 bottleneck.
+
+A second gate covers the pipeline's *trace analytics*: the same CS
+workload run with spans on, analysed by :class:`repro.obs.TraceAnalysis`
+— per-invocation queue/transit/service/retry attribution must be
+bit-identical across same-seed runs, reconcile with the
+``paradigm.cs.seconds`` histogram, and stay under the checked-in
+``trace.*`` ceilings (sim-time values, so they are machine-independent
+and gate at threshold 0).
 """
 
 from __future__ import annotations
@@ -18,8 +26,14 @@ from time import perf_counter
 
 from repro.core import World, mutual_trust, standard_host
 from repro.net import Message, Position, WIFI_ADHOC
+from repro.obs import RunReport, TraceAnalysis
 
-from _common import gate_against_baseline, quick, write_report_data
+from _common import (
+    gate_against_baseline,
+    quick,
+    write_report_data,
+    write_report_document,
+)
 
 CALLS = 60 if quick() else 300
 
@@ -97,3 +111,51 @@ def test_invocation_pipeline_overhead(benchmark):
     )
     gate_against_baseline("micro_invocation", path)
     benchmark(_run_pipeline_calls)
+
+
+def _run_traced_calls() -> RunReport:
+    world, a, b = _world()
+    world.tracer.enabled = True
+
+    def go():
+        for index in range(CALLS):
+            yield from a.component("cs").call("b", "echo", index)
+
+    process = world.env.process(go())
+    world.run(until=process)
+    return RunReport.capture(
+        "micro_invocation_trace",
+        world,
+        params={"calls": CALLS, "quick": quick()},
+        created_at=world.env.now,
+    )
+
+
+def test_invocation_trace_analytics_gate():
+    """Same-seed trace analyses are bit-identical, reconcile, and gate."""
+    first = _run_traced_calls()
+    second = _run_traced_calls()
+    first_trace = TraceAnalysis.from_report(first)
+    second_trace = TraceAnalysis.from_report(second)
+    # Message ids are process-global, so the raw span dumps differ
+    # between the two runs — but every analysis metric is id-free
+    # sim-time arithmetic and must match exactly.
+    assert first_trace.metrics() == second_trace.metrics(), (
+        "same-seed runs produced different trace analytics"
+    )
+    assert len(first_trace.invocations) == CALLS
+    problems = first_trace.problems(first.metrics)
+    assert not problems, (
+        "trace attribution failed to reconcile:\n" + "\n".join(problems)
+    )
+    path = write_report_document("micro_invocation_trace", first.to_dict())
+    diff = gate_against_baseline("micro_invocation_trace", path)
+    metrics = first_trace.metrics()
+    print(
+        f"\ntrace: {CALLS} invocations, critical path p99 "
+        f"{metrics['trace.critical_path.p99'] * 1000:.3f}ms; shares "
+        f"queue {metrics['trace.queue_share']:.1%} / transit "
+        f"{metrics['trace.transit_share']:.1%} / service "
+        f"{metrics['trace.service_share']:.1%} "
+        f"({len(diff.deltas)} gated metrics)"
+    )

@@ -10,7 +10,11 @@ Commands:
   files the benchmarks write under ``benchmarks/results/``);
 * ``compare`` — diff two run reports metric by metric with
   higher/lower-is-better direction annotations; ``--fail-on regress``
-  exits 1 on a regression past the threshold (the benchmark gate).
+  exits 1 on a regression past the threshold (the benchmark gate);
+* ``trace``   — causal trace analytics on a report's spans: ``summary``
+  (per-paradigm latency attribution), ``critical-path`` (the chain of
+  spans that bounds each slow invocation), ``slowest`` (ranked table),
+  and ``export --format chrome`` (Perfetto / chrome://tracing JSON).
 """
 
 from __future__ import annotations
@@ -209,6 +213,85 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_trace_analysis(name: str):
+    """Resolve + load a report and build its trace analysis.
+
+    Returns ``(analysis, report, None)`` or ``(None, None, exit_code)``
+    after printing a one-line error.
+    """
+    from repro.obs import ReportSchemaError, RunReport, TraceAnalysis
+
+    path = _find_report(name)
+    if path is None:
+        print(
+            f"error: no report named {name!r} — not a file, and not "
+            "found under benchmarks/results/ (run a benchmark with spans "
+            "enabled first, e.g. pytest benchmarks/bench_chaos.py --quick)",
+            file=sys.stderr,
+        )
+        return None, None, 1
+    try:
+        report = RunReport.load_checked(path)
+    except ReportSchemaError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return None, None, 1
+    try:
+        analysis = TraceAnalysis.from_report(report)
+    except (KeyError, TypeError, ValueError) as error:
+        print(
+            f"error: {path} has malformed spans: {error}", file=sys.stderr
+        )
+        return None, None, 1
+    if not analysis.spans:
+        print(
+            f"error: report {report.name!r} carries no spans — rerun the "
+            "benchmark with tracing enabled (trace_enabled/spans_enabled)",
+            file=sys.stderr,
+        )
+        return None, None, 1
+    return analysis, report, None
+
+
+def _trace_strict_check(analysis, report) -> int:
+    """Apply ``--strict``: exit 1 on reconciliation problems."""
+    problems = analysis.problems(report.metrics)
+    if problems:
+        for problem in problems:
+            print(f"strict: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    analysis, report, code = _load_trace_analysis(args.name)
+    if analysis is None:
+        return code
+    action = args.action
+    if action == "summary":
+        print(analysis.render_summary())
+    elif action == "critical-path":
+        print(analysis.render_critical_path(top=args.top))
+    elif action == "slowest":
+        print(analysis.render_slowest(count=args.count))
+    elif action == "export":
+        import json
+
+        document = analysis.to_chrome()
+        text = json.dumps(document, indent=2, sort_keys=True)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(text + "\n")
+            print(
+                f"wrote {len(document['traceEvents'])} trace events to "
+                f"{args.out} (load in Perfetto / chrome://tracing)"
+            )
+        else:
+            print(text)
+    if args.strict:
+        return _trace_strict_check(analysis, report)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -305,6 +388,75 @@ def build_parser() -> argparse.ArgumentParser:
         help="show unchanged metrics too in the rendered table",
     )
     compare_cmd.set_defaults(handler=_cmd_compare)
+
+    trace_cmd = subparsers.add_parser(
+        "trace",
+        help="causal trace analytics on a run report's spans",
+        description=(
+            "Reconstruct the causal span DAG of a run report and "
+            "attribute every invocation's latency to queue / transit / "
+            "service / retry time.  Reports resolve like 'repro "
+            "report': a path, or a name under benchmarks/results/.  "
+            "Exit codes: 0 ok, 1 unreadable report, missing spans, or "
+            "(--strict) reconciliation failure."
+        ),
+    )
+    trace_sub = trace_cmd.add_subparsers(dest="action", required=True)
+
+    def _trace_common(sub):
+        sub.add_argument("name", help="report name or path (with spans)")
+        sub.add_argument(
+            "--strict",
+            action="store_true",
+            help="exit 1 unless bucket sums reconcile with invocation "
+            "durations and the paradigm.<kind>.seconds histograms",
+        )
+        sub.set_defaults(handler=_cmd_trace)
+
+    trace_summary = trace_sub.add_parser(
+        "summary", help="per-paradigm latency attribution tables"
+    )
+    _trace_common(trace_summary)
+
+    trace_critical = trace_sub.add_parser(
+        "critical-path",
+        help="the span chain bounding each slow invocation",
+    )
+    trace_critical.add_argument(
+        "--top",
+        type=int,
+        default=3,
+        help="number of slowest invocations to profile (default 3)",
+    )
+    _trace_common(trace_critical)
+
+    trace_slowest = trace_sub.add_parser(
+        "slowest", help="ranked table of the slowest invocations"
+    )
+    trace_slowest.add_argument(
+        "-n",
+        "--count",
+        type=int,
+        default=10,
+        help="rows to show (default 10)",
+    )
+    _trace_common(trace_slowest)
+
+    trace_export = trace_sub.add_parser(
+        "export", help="export the trace for external viewers"
+    )
+    trace_export.add_argument(
+        "--format",
+        choices=["chrome"],
+        default="chrome",
+        help="output format (chrome: Perfetto / chrome://tracing JSON)",
+    )
+    trace_export.add_argument(
+        "--out",
+        default=None,
+        help="write to this path instead of stdout",
+    )
+    _trace_common(trace_export)
     return parser
 
 

@@ -194,7 +194,11 @@ class MobileHost:
         return self.world.transport.send(message)
 
     def request(
-        self, message: Message, timeout: float = 30.0, parent: object = None
+        self,
+        message: Message,
+        timeout: float = 30.0,
+        parent: object = None,
+        attempt: int = 1,
     ) -> Generator:
         """Send ``message`` and wait for its reply (generator helper).
 
@@ -207,6 +211,8 @@ class MobileHost:
         ``parent`` (a span or span context) makes the exchange a child
         of the caller's span; the request's span context travels inside
         the message so the remote side joins the same trace.
+        ``attempt`` is the 1-based retry index the invocation pipeline
+        passes so each exchange span says which attempt it was.
         """
         tracer = self.world.tracer
         span = tracer.start(
@@ -214,6 +220,8 @@ class MobileHost:
             self.id,
             parent=parent if parent is not None else message.trace_context,
             msg=message.kind,
+            msg_id=message.id,
+            attempt=attempt,
             to=message.destination,
         )
         if message.trace_context is None:
@@ -277,6 +285,23 @@ class MobileHost:
             msg=message.kind,
             in_reply_to=message.in_reply_to,
         )
+        tracer = self.world.tracer
+        if tracer.enabled:
+            # Even a discarded copy reached this inbox: record the
+            # delivery marker so the trace analyzer can count duplicate
+            # deliveries (repeated ``t_deliver`` stamps for one message
+            # id) without double-counting any causal edge.
+            marker = tracer.start(
+                "host.deliver",
+                self.id,
+                parent=message.trace_context,
+                msg=message.kind,
+                msg_id=message.id,
+                in_reply_to=message.in_reply_to,
+                t_deliver=message.delivered_at,
+                stale=True,
+            )
+            tracer.finish(marker)
 
     def reply_to(
         self, request: Message, kind: str, payload: object = None, size_bytes: int = 0
@@ -358,6 +383,24 @@ class MobileHost:
             if message.in_reply_to is not None:
                 if message.in_reply_to in self._pending:
                     event = self._pending.pop(message.in_reply_to)
+                    tracer = self.world.tracer
+                    if tracer.enabled:
+                        # Zero-duration delivery marker: replies resolve
+                        # futures instead of running handlers, so this
+                        # is the receiver-side hop stamp the trace
+                        # analyzer correlates with the reply's
+                        # ``net.transmit`` span (injected delivery
+                        # delays surface as the gap between the two).
+                        marker = tracer.start(
+                            "host.deliver",
+                            self.id,
+                            parent=message.trace_context,
+                            msg=message.kind,
+                            msg_id=message.id,
+                            in_reply_to=message.in_reply_to,
+                            t_deliver=message.delivered_at,
+                        )
+                        tracer.finish(marker)
                     event.succeed(message)
                     continue
                 if message.in_reply_to in self._closed_requests:
@@ -381,6 +424,8 @@ class MobileHost:
                 self.id,
                 parent=message.trace_context,
                 msg=message.kind,
+                msg_id=message.id,
+                t_deliver=message.delivered_at,
                 origin=message.source,
             )
             self.env.process(

@@ -143,21 +143,36 @@ def request_with_retry(
     a stale one whose pending event was already discarded.  Only
     :data:`TRANSIENT_LINK_ERRORS` are retried; ``RequestTimeout`` and
     typed remote errors propagate immediately.
+
+    Each attempt's ``host.request`` span carries its 1-based attempt
+    index, and every backoff sleep is wrapped in an ``invoke.backoff``
+    span, so retry stalls are attributable in the trace analysis (see
+    :mod:`repro.obs.trace`) instead of vanishing into dead time.
     """
     policy = NO_RETRY if retry is None else retry
     attempts = max(1, policy.attempts)
+    tracer = host.world.tracer
     for attempt in range(attempts):
         message = build()
         try:
             reply = yield from host.request(
-                message, timeout=timeout, parent=parent
+                message, timeout=timeout, parent=parent, attempt=attempt + 1
             )
         except TRANSIENT_LINK_ERRORS:
             if attempt + 1 >= attempts:
                 raise
             if on_retry is not None:
                 on_retry()
-            yield host.env.timeout(policy.delay(attempt))
+            delay = policy.delay(attempt)
+            backoff = tracer.start(
+                "invoke.backoff",
+                host.id,
+                parent=parent,
+                attempt=attempt + 1,
+                delay_s=delay,
+            )
+            yield host.env.timeout(delay)
+            tracer.finish(backoff)
             continue
         return reply
 
@@ -296,7 +311,16 @@ class InvocationPipeline:
                     if number + 1 >= attempts:
                         raise
                     self.bump("retries")
-                    yield env.timeout(policy.delay(number))
+                    delay = policy.delay(number)
+                    backoff = tracer.start(
+                        "invoke.backoff",
+                        host.id,
+                        parent=span,
+                        attempt=number + 1,
+                        delay_s=delay,
+                    )
+                    yield env.timeout(delay)
+                    tracer.finish(backoff)
                     continue
                 break
         except BaseException as error:

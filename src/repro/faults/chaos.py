@@ -210,10 +210,18 @@ def run_chaos(
     spacing_s: float = 8.0,
     plan: Optional[FaultPlan] = None,
     trace_enabled: bool = False,
+    spans_enabled: Optional[bool] = None,
 ) -> ChaosOutcome:
     """Drive the echo workload under ``plan`` (default
-    :func:`standard_plan`); returns a :class:`ChaosOutcome`."""
-    world = World(seed=seed, trace_enabled=trace_enabled)
+    :func:`standard_plan`); returns a :class:`ChaosOutcome`.
+
+    ``spans_enabled`` follows ``trace_enabled`` unless set explicitly
+    (pass ``True`` to capture causal spans — and the ``trace.*``
+    analytics derived from them — without the event trace log).
+    """
+    world = World(
+        seed=seed, trace_enabled=trace_enabled, spans_enabled=spans_enabled
+    )
     task = chaos_task()
     client_hosts, server_hosts = build_fleet(
         world, clients=clients, servers=servers, task=task
@@ -265,6 +273,10 @@ def run_chaos(
             "faults": len(plan),
             "completion_rate": outcome.completion_rate,
         },
+        # Sim-time creation stamp: the whole document is then a pure
+        # function of the seed, so determinism tests compare reports
+        # wholesale instead of stripping the wall-clock field.
+        created_at=world.env.now,
     ).to_dict()
     return outcome
 

@@ -246,6 +246,8 @@ class FaultInjector:
                 name=f"fault-delay#{message.id}",
             )
             return
+        if self.world.tracer.enabled:
+            message.delivered_at = self.env.now
         yield destination.inbox.put(message)
 
     def _deliver_later(
@@ -255,6 +257,10 @@ class FaultInjector:
             yield self.env.timeout(delay_s)
         # The node may have crashed while the copy was in flight.
         if destination.up:
+            # Stamp at the *post-delay* put, so the injected stall shows
+            # up as transit time in the span analysis, not dead air.
+            if self.world.tracer.enabled:
+                message.delivered_at = self.env.now
             yield destination.inbox.put(message)
 
     # -- teardown ------------------------------------------------------------

@@ -49,6 +49,12 @@ class Message:
     #: transit.  Receivers model a checksum pass — a corrupted message
     #: is discarded at dispatch, never handled.
     corrupted: bool = False
+    #: Sim-time this copy reached the destination inbox.  Stamped by the
+    #: transport (and the fault-injection delivery hook) only while span
+    #: tracing is enabled — the hop timestamp the trace analyzer uses to
+    #: separate link transit from injected delivery stalls.  0.0 means
+    #: "not stamped" (tracing off, or never delivered).
+    delivered_at: float = 0.0
 
     @property
     def wire_size(self) -> int:

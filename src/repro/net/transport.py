@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Generator, List, Optional
 
 from ..errors import MessageTooLarge, NetworkError, TransportTimeout, Unreachable
-from ..obs import SpanTracer
+from ..obs import NOOP_SPAN, SpanTracer
 from ..sim import Environment, MetricsRegistry, Process, RandomStreams, TraceLog
 from .message import Message
 from .network import Link, LinkPolicy, Network, prefer_free_then_fast
@@ -128,7 +128,9 @@ class Transport:
             raise MessageTooLarge(
                 f"{message.wire_size}B exceeds {link.sender_technology.name} limit"
             )
-        delivered = yield from self._transmit(message, source, destination, link)
+        delivered = yield from self._transmit(
+            message, source, destination, link, attempt=1
+        )
         return delivered
 
     def _transmit(
@@ -137,6 +139,7 @@ class Transport:
         source: NetworkNode,
         destination: NetworkNode,
         link: Link,
+        attempt: int = 1,
     ) -> Generator:
         """Run one transfer attempt over ``link``; returns delivery bool."""
         span = self.tracer.start(
@@ -144,15 +147,27 @@ class Transport:
             source.id,
             parent=message.trace_context,
             msg=message.kind,
+            msg_id=message.id,
+            attempt=attempt,
             to=destination.id,
             bytes=message.wire_size,
             via=link.name,
         )
+        # Hop timestamps for the trace analyzer: the span runs
+        # enqueue -> on-air -> sent -> delivery decision, and ``t_air``/
+        # ``t_sent`` split it into channel-queue, airtime, and transit.
+        # Guarded so the disabled-tracing path stamps (and allocates)
+        # nothing — NOOP_SPAN's attribute dict is a throwaway.
+        stamped = span is not NOOP_SPAN
         interface = source.interface(link.sender_technology.name)
         with interface.channel.request() as claim:
             yield claim
+            if stamped:
+                span.attributes["t_air"] = self.env.now
             transmit_time = link.transfer_time(message.wire_size)
             yield self.env.timeout(transmit_time)
+        if stamped:
+            span.attributes["t_sent"] = self.env.now
         # Bill the sender's access technology for the bytes put on air.
         source.costs.account_transfer(
             link.sender_technology, message.wire_size, sent=True
@@ -201,10 +216,14 @@ class Transport:
         )
         self.tracer.finish(span)
         if faults is None:
+            if stamped:
+                message.delivered_at = self.env.now
             yield destination.inbox.put(message)
         else:
             # The hook may delay the copy, add duplicates, or mark the
-            # payload corrupted; it owns the inbox put(s).
+            # payload corrupted; it owns the inbox put(s) — and the
+            # ``delivered_at`` stamps, so injected delays surface as
+            # transit stalls in the trace analysis.
             yield from faults.deliver(message, destination)
         return True
 
@@ -234,7 +253,7 @@ class Transport:
                     f"{link.sender_technology.name} limit"
                 )
             delivered = yield from self._transmit(
-                message, source, destination, link
+                message, source, destination, link, attempt=attempt
             )
             # The acknowledgement costs airtime and bytes at both ends.
             yield self.env.timeout(link.latency_s)
@@ -314,6 +333,8 @@ class Transport:
                 )
                 message.via = tech.name
                 neighbor.costs.account_transfer(tech, wire, sent=False)
+                if self.tracer.enabled:
+                    message.delivered_at = self.env.now
                 yield neighbor.inbox.put(message)
                 received.append(neighbor.id)
         self.metrics.counter("net.broadcasts").increment()

@@ -15,7 +15,10 @@ first-class subsystem:
   cadence sampling of the metrics registry into bounded series;
 * :mod:`repro.obs.diff`      — cross-run report diffing with a
   higher/lower-is-better direction registry (``python -m repro
-  compare``, the benchmark regression gate).
+  compare``, the benchmark regression gate);
+* :mod:`repro.obs.trace`     — causal trace analytics over a report's
+  spans: DAG reconstruction, per-hop latency attribution, critical
+  paths, and Chrome/Perfetto export (``python -m repro trace``).
 
 See ``docs/OBSERVABILITY.md`` for the span model and the
 ``subsystem.metric`` naming scheme.
@@ -42,6 +45,13 @@ from .diff import (
 from .profiler import SimProfiler
 from .report import ReportSchemaError, RunReport, SCHEMA_KEYS, SCHEMA_VERSION
 from .timeseries import TimeSeriesRecorder
+from .trace import (
+    BUCKETS,
+    INVOCATION_OPS,
+    InvocationBreakdown,
+    TraceAnalysis,
+    critical_path,
+)
 from .spans import (
     NOOP_SPAN,
     STATUS_ERROR,
@@ -53,7 +63,10 @@ from .spans import (
 )
 
 __all__ = [
+    "BUCKETS",
     "DEFAULT_DIRECTIONS",
+    "INVOCATION_OPS",
+    "InvocationBreakdown",
     "MetricDelta",
     "NOOP_SPAN",
     "ReportDiff",
@@ -68,7 +81,9 @@ __all__ = [
     "SpanTracer",
     "SpanTree",
     "TimeSeriesRecorder",
+    "TraceAnalysis",
     "build_trees",
+    "critical_path",
     "diff_report_files",
     "diff_reports",
     "direction_of",

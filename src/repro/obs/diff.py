@@ -52,6 +52,20 @@ DEFAULT_DIRECTIONS: Tuple[Tuple[str, Optional[str]], ...] = (
     # faults.extra_latency); ditto the checksum discards they force.
     ("faults.*", None),
     ("*corrupt_discarded*", None),
+    # Trace analytics (repro.obs.trace): the critical path and the
+    # shares of time lost to queueing/transit stalls/retries should
+    # shrink; the raw span/tree/invocation tallies are scenario shape.
+    # The family must precede the generic rules — ``*delivered*`` would
+    # otherwise read trace.duplicate_deliveries as "higher is better".
+    ("trace.orphans", "lower"),
+    ("trace.duplicate_deliveries", None),
+    ("trace.critical_path.*", "lower"),
+    ("trace.queue_share", "lower"),
+    ("trace.transit_share", "lower"),
+    ("trace.retry_share", "lower"),
+    ("trace.other_share", "lower"),
+    ("trace.*_seconds", "lower"),
+    ("trace.*", None),
     # Higher is better: useful work and cache effectiveness.
     ("*speedup*", "higher"),
     ("*completion_rate*", "higher"),

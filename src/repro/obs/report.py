@@ -84,8 +84,15 @@ class RunReport:
         world: "World",
         profiler: Optional["SimProfiler"] = None,
         params: Optional[Dict[str, object]] = None,
+        created_at: Optional[float] = None,
     ) -> "RunReport":
-        """Snapshot a finished :class:`~repro.core.world.World`."""
+        """Snapshot a finished :class:`~repro.core.world.World`.
+
+        ``created_at`` defaults to wall-clock time; pass a value (for
+        example ``world.env.now``) to make the whole document a pure
+        function of the run — two same-seed captures then compare equal
+        without stripping anything.
+        """
         import repro
 
         env = {
@@ -103,15 +110,26 @@ class RunReport:
             # Terminal sweep: the state at end-of-run is always the last
             # point, even when the run ended between cadence boundaries.
             recorder.sample(world.env.now)
+        metrics = dict(world.summary())
+        if spans:
+            # Fold the trace-analysis aggregates (critical-path
+            # quantiles, attribution shares, orphan counts) into the
+            # metric snapshot so ``repro compare`` gates on them like
+            # any other metric.  Local import: trace.py is a consumer
+            # of reports, not a dependency of every capture.
+            from .trace import TraceAnalysis
+
+            metrics.update(TraceAnalysis.from_spans(spans).metrics())
         return cls(
             name=name,
             env=env,
             params=params,
-            metrics=dict(world.summary()),
+            metrics=metrics,
             kind_counts=kind_counts,
             profile=profiler.as_dict() if profiler is not None else None,
             spans=spans,
             series=recorder.as_dict() if recorder is not None else None,
+            created_at=created_at,
         )
 
     # -- (de)serialisation ---------------------------------------------------

@@ -258,6 +258,7 @@ class MetricsRegistry:
             snapshot[f"{name}.p50"] = gauge.p50
         for name, histogram in self._histograms.items():
             snapshot[f"{name}.count"] = float(histogram.count)
+            snapshot[f"{name}.sum"] = histogram.total
             snapshot[f"{name}.mean"] = histogram.mean
             snapshot[f"{name}.median"] = histogram.median
             snapshot[f"{name}.p50"] = histogram.p50

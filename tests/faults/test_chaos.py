@@ -115,19 +115,22 @@ class TestStaleReplies:
 
 
 class TestWholeRunDeterminism:
-    """Same-seed chaos runs must be bit-identical, wall-clock aside."""
+    """Same-seed chaos runs must be bit-identical — every field.
 
-    @staticmethod
-    def comparable(report):
-        data = dict(report)
-        data.pop("created_at", None)  # the one wall-clock field
-        return data
+    ``run_chaos`` stamps ``created_at`` with sim-time, so the whole
+    report document is a pure function of the seed; nothing needs to be
+    stripped before comparing.
+    """
 
     def test_same_seed_identical_run_reports(self):
         first = run_chaos(seed=17)
         second = run_chaos(seed=17)
-        assert self.comparable(first.report) == self.comparable(second.report)
+        assert first.report == second.report
         assert first.summary == second.summary
+
+    def test_created_at_is_sim_time(self):
+        outcome = run_chaos(seed=17)
+        assert outcome.report["created_at"] == outcome.duration_s
 
     def test_report_carries_chaos_metrics(self):
         report = run_chaos(seed=17).report

@@ -168,3 +168,97 @@ class TestTrees:
         text = tracer.render()
         assert "root [a]" in text
         assert "!error" in text
+
+
+class TestDisabledHopStampFastPath:
+    """The per-hop timestamps added for trace analytics must cost
+    nothing when tracing is off: no ``delivered_at`` stamps on
+    messages, no attribute writes surviving on the shared no-op span,
+    no allocations in the stamping guard, and bit-identical runs."""
+
+    @staticmethod
+    def quiet_pair():
+        from repro.core import World, mutual_trust, standard_host
+        from repro.net import Position, WIFI_ADHOC
+
+        world = World(seed=9)  # tracing (and spans) off by default
+        world.transport._rng.random = lambda: 0.999
+        a = standard_host(world, "a", Position(0, 0), [WIFI_ADHOC])
+        b = standard_host(world, "b", Position(10, 0), [WIFI_ADHOC])
+        mutual_trust(a, b)
+        b.register_service("echo", lambda args, host: (args, 32))
+        return world, a, b
+
+    def test_delivered_at_not_stamped_when_disabled(self):
+        from repro.net import Message
+
+        world, a, b = self.quiet_pair()
+
+        def go():
+            message = Message(
+                source="a", destination="b", kind="cs.request",
+                payload={"service": "echo", "args": 1}, size_bytes=64,
+            )
+            reply = yield from a.request(message, timeout=30.0)
+            return reply
+
+        process = world.env.process(go())
+        reply = world.run(until=process)
+        assert reply.delivered_at == 0.0
+        assert world.tracer.started_total == 0
+
+    def test_delivered_at_stamped_when_enabled(self):
+        from repro.net import Message
+
+        world, a, b = self.quiet_pair()
+        world.tracer.enabled = True
+
+        def go():
+            message = Message(
+                source="a", destination="b", kind="cs.request",
+                payload={"service": "echo", "args": 1}, size_bytes=64,
+            )
+            reply = yield from a.request(message, timeout=30.0)
+            return reply
+
+        process = world.env.process(go())
+        reply = world.run(until=process)
+        assert reply.delivered_at > 0.0
+
+    def test_noop_span_sheds_stamp_writes(self):
+        # The transport writes hop stamps through span.attributes; the
+        # shared no-op span must shed them into a throwaway dict.
+        NOOP_SPAN.attributes["t_air"] = 123.0
+        NOOP_SPAN.attributes["t_sent"] = 456.0
+        assert NOOP_SPAN.attributes == {}
+
+    def test_disabled_stamp_path_is_allocation_free(self):
+        import tracemalloc
+
+        tracer, _clock = make_tracer(enabled=False)
+        tracemalloc.start()
+        for index in range(10_000):
+            span = tracer.start(
+                "net.transmit", "a", msg_id=index, attempt=1
+            )
+            if span is not NOOP_SPAN:
+                span.attributes["t_air"] = 1.0
+            tracer.finish(span)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert len(tracer) == 0
+        assert peak < 4096, f"disabled stamping allocated {peak} bytes"
+
+    def test_disabled_runs_stay_bit_identical(self):
+        summaries = []
+        for _ in range(2):
+            world, a, b = self.quiet_pair()
+
+            def go():
+                for index in range(5):
+                    yield from a.component("cs").call("b", "echo", index)
+
+            process = world.env.process(go())
+            world.run(until=process)
+            summaries.append(world.summary())
+        assert summaries[0] == summaries[1]

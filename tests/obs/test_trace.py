@@ -1,0 +1,359 @@
+"""Trace analytics: DAG reconstruction, attribution, fault resilience.
+
+Two layers of coverage:
+
+* **Synthetic spans** pin the attribution algebra — bucket priorities,
+  delivery-stall correlation, ARQ retry gaps, exact partition of the
+  invocation window — without running a simulation.
+* **Live worlds under PR-5 fault injectors** pin the integration
+  contract: duplicate deliveries are counted but never double-count an
+  edge, delayed hops surface as transit stalls (not orphans), dropped
+  hops surface as retry stalls, and truncated span sets degrade to
+  counted orphans instead of crashing.
+"""
+
+import json
+
+import pytest
+
+from repro.core import World, mutual_trust, standard_host
+from repro.faults import FaultPlan
+from repro.net import Position, WIFI_ADHOC
+from repro.obs import Span, TraceAnalysis
+from repro.obs.trace import BUCKETS, percentile
+
+# ---------------------------------------------------------------------------
+# Synthetic-span helpers
+# ---------------------------------------------------------------------------
+
+_ids = iter(range(1, 10_000))
+
+
+def span(name, start, end, parent=None, trace=1, source="a", status="ok",
+         **attributes):
+    data = {
+        "trace_id": trace,
+        "span_id": next(_ids),
+        "parent_id": parent,
+        "name": name,
+        "source": source,
+        "start": start,
+        "end": end,
+        "status": status,
+        "attributes": attributes,
+    }
+    return data
+
+
+def analysis_of(*span_dicts):
+    return TraceAnalysis.from_spans(span_dicts)
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.99) == 0.0
+
+    def test_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.5) == 2.0
+        assert percentile(values, 0.99) == 4.0
+        assert percentile(values, 0.0) == 1.0
+
+
+class TestSyntheticBreakdown:
+    def test_buckets_partition_the_window(self):
+        root = span("cs.call", 0.0, 10.0)
+        transmit = span(
+            "net.transmit", 0.0, 2.0, parent=root["span_id"],
+            msg_id=1, t_air=0.5, t_sent=1.5,
+        )
+        handle = span(
+            "host.handle", 2.0, 4.0, parent=root["span_id"],
+            source="b", msg_id=1, t_deliver=2.0,
+        )
+        backoff = span("invoke.backoff", 4.0, 6.0, parent=root["span_id"])
+        result = analysis_of(root, transmit, handle, backoff)
+        (invocation,) = result.invocations
+        assert invocation.queue == 0.5       # transmit start -> t_air
+        assert invocation.transit == 1.5     # t_air -> transmit end
+        assert invocation.service == 2.0     # host.handle
+        assert invocation.retry == 2.0       # invoke.backoff
+        assert invocation.other == 4.0       # uncovered remainder
+        assert invocation.reconciles()
+        assert sum(invocation.buckets.values()) == pytest.approx(10.0)
+
+    def test_priority_retry_beats_service(self):
+        root = span("cs.call", 0.0, 4.0)
+        handle = span(
+            "host.handle", 0.0, 4.0, parent=root["span_id"], source="b"
+        )
+        backoff = span("invoke.backoff", 1.0, 3.0, parent=root["span_id"])
+        (invocation,) = analysis_of(root, handle, backoff).invocations
+        assert invocation.retry == 2.0
+        assert invocation.service == 2.0  # only the uncovered flanks
+        assert invocation.reconciles()
+
+    def test_delivery_stall_extends_transit(self):
+        # Transmit span closes at 2.0 but the receiver stamp says the
+        # copy only reached the inbox at 3.5 — an injected delay.
+        root = span("cs.call", 0.0, 5.0)
+        transmit = span(
+            "net.transmit", 0.0, 2.0, parent=root["span_id"],
+            msg_id=9, t_air=0.0, t_sent=2.0,
+        )
+        handle = span(
+            "host.handle", 3.5, 4.0, parent=root["span_id"],
+            source="b", msg_id=9, t_deliver=3.5,
+        )
+        (invocation,) = analysis_of(root, transmit, handle).invocations
+        assert invocation.transit == pytest.approx(3.5)
+        assert invocation.service == pytest.approx(0.5)
+        assert invocation.other == pytest.approx(1.0)
+
+    def test_arq_gap_between_attempts_is_retry(self):
+        root = span("cs.call", 0.0, 8.0)
+        first = span(
+            "net.transmit", 0.0, 2.0, parent=root["span_id"],
+            msg_id=4, attempt=1, t_air=0.0, t_sent=2.0, status="lost",
+        )
+        second = span(
+            "net.transmit", 5.0, 7.0, parent=root["span_id"],
+            msg_id=4, attempt=2, t_air=5.0, t_sent=7.0,
+        )
+        (invocation,) = analysis_of(root, first, second).invocations
+        assert invocation.retry == pytest.approx(3.0)  # 2.0 -> 5.0
+        assert invocation.transit == pytest.approx(4.0)
+        assert invocation.reconciles()
+
+    def test_intervals_clip_to_root_window(self):
+        # A server-side handle that outlives the root (reply landed
+        # before the handler returned) must not inflate the buckets.
+        root = span("cs.call", 0.0, 2.0)
+        handle = span(
+            "host.handle", 1.0, 5.0, parent=root["span_id"], source="b"
+        )
+        (invocation,) = analysis_of(root, handle).invocations
+        assert invocation.service == pytest.approx(1.0)
+        assert invocation.reconciles()
+
+    def test_critical_path_follows_last_finisher(self):
+        root = span("cs.call", 0.0, 10.0)
+        fast = span("net.transmit", 0.0, 1.0, parent=root["span_id"])
+        slow = span("host.handle", 0.0, 9.0, parent=root["span_id"],
+                    source="b")
+        deep = span("net.transmit", 8.0, 9.0, parent=slow["span_id"],
+                    source="b")
+        (invocation,) = analysis_of(root, fast, slow, deep).invocations
+        names = [node.name for node in invocation.critical_path]
+        assert names == ["cs.call", "host.handle", "net.transmit"]
+
+
+class TestDagReconstruction:
+    def test_orphans_counted_not_fatal(self):
+        orphan = span("host.handle", 1.0, 2.0, parent=99_999)
+        root = span("cs.call", 0.0, 3.0)
+        result = analysis_of(orphan, root)
+        assert result.orphans == 1
+        assert len(result.invocations) == 1  # the real root still counts
+        assert len(result.background) == 1   # the orphan tree
+        assert result.metrics()["trace.orphans"] == 1.0
+
+    def test_unfinished_spans_excluded_and_counted(self):
+        live = span("cs.call", 0.0, None)
+        done = span("cs.call", 0.0, 1.0)
+        result = analysis_of(live, done)
+        assert result.unfinished == 1
+        assert len(result.invocations) == 1
+
+    def test_background_roots_are_not_invocations(self):
+        fault = span("fault.drop", 0.0, 5.0, source="faults")
+        cast = span("net.broadcast", 0.0, 1.0)
+        result = analysis_of(fault, cast)
+        assert result.invocations == []
+        assert len(result.background) == 2
+
+    def test_empty_analysis_is_healthy(self):
+        result = analysis_of()
+        assert result.metrics()["trace.spans"] == 0.0
+        assert result.problems() == []
+        assert result.to_chrome()["traceEvents"] == []
+
+
+class TestProblems:
+    def test_histogram_mismatch_reported(self):
+        root = span("cs.call", 0.0, 2.0)
+        result = analysis_of(root)
+        metrics = {
+            "paradigm.cs.seconds.count": 1.0,
+            "paradigm.cs.seconds.sum": 9.0,  # spans say 2.0
+        }
+        (problem,) = result.problems(metrics)
+        assert "paradigm.cs" in problem
+
+    def test_count_mismatch_reported(self):
+        root = span("cs.call", 0.0, 2.0)
+        result = analysis_of(root)
+        metrics = {"paradigm.cs.seconds.count": 3.0}
+        (problem,) = result.problems(metrics)
+        assert "3" in problem
+
+    def test_failed_invocations_excluded_from_reconciliation(self):
+        ok = span("cs.call", 0.0, 2.0)
+        failed = span("cs.call", 3.0, 5.0, status="error")
+        result = analysis_of(ok, failed)
+        metrics = {
+            "paradigm.cs.seconds.count": 1.0,
+            "paradigm.cs.seconds.sum": 2.0,
+        }
+        assert result.problems(metrics) == []
+
+
+# ---------------------------------------------------------------------------
+# Live worlds under fault injection
+# ---------------------------------------------------------------------------
+
+
+def traced_pair(seed=5):
+    world = World(seed=seed, trace_enabled=True)
+    world.transport._rng.random = lambda: 0.999  # no stochastic loss
+    a = standard_host(world, "a", Position(0, 0), [WIFI_ADHOC])
+    b = standard_host(world, "b", Position(10, 0), [WIFI_ADHOC])
+    mutual_trust(a, b)
+    b.register_service("echo", lambda args, host: (args, 32))
+    return world, a, b
+
+
+def run_calls(world, client, calls=3, spacing=1.0):
+    def go():
+        for index in range(calls):
+            yield from client.component("cs").call("b", "echo", index)
+            yield world.env.timeout(spacing)
+
+    process = world.env.process(go())
+    world.run(until=process)
+    world.run(until=world.now + 5.0)  # let server-side spans close
+    return TraceAnalysis(world.tracer.finished_spans())
+
+
+class TestFaultInjectionTraces:
+    def test_duplicate_deliveries_counted_once(self):
+        world, a, b = traced_pair()
+        FaultPlan().duplicate(
+            at=0.0, duration=10.0, rate=1.0, delay_s=0.2,
+            message_kinds=("cs.reply",),
+        ).inject(world)
+        result = run_calls(world, a, calls=3)
+        assert result.duplicate_deliveries == 3
+        assert result.orphans == 0
+        assert len(result.invocations) == 3
+        # The duplicate copies must not double-count any edge: each
+        # invocation still reconciles, and transit stays the clean
+        # one-round-trip figure (the dup arrives after the root closed).
+        for invocation in result.invocations:
+            assert invocation.status == "ok"
+            assert invocation.reconciles()
+            assert invocation.transit < 0.02
+
+    def test_delayed_hops_are_transit_stalls_not_orphans(self):
+        world, a, b = traced_pair()
+        FaultPlan().delay(
+            at=0.0, duration=10.0, extra_s=0.4, rate=1.0
+        ).inject(world)
+        result = run_calls(world, a, calls=1)
+        (invocation,) = result.invocations
+        assert result.orphans == 0
+        assert invocation.status == "ok"
+        # Both hops (request + reply) were held 0.4s by the injector;
+        # the stall lands in transit, not in "other".
+        assert invocation.transit == pytest.approx(0.8, abs=0.05)
+        assert invocation.other < 0.01
+        assert invocation.reconciles()
+
+    def test_dropped_hop_surfaces_as_retry_stall(self):
+        world, a, b = traced_pair()
+        # The window covers only the first attempt's delivery decision
+        # (~5.1ms in); the ARQ retransmission lands after it closes.
+        FaultPlan().drop(
+            at=0.0, duration=0.006, rate=1.0, message_kinds=("cs.request",)
+        ).inject(world)
+        result = run_calls(world, a, calls=1)
+        (invocation,) = result.invocations
+        assert invocation.status == "ok"
+        assert result.orphans == 0
+        assert invocation.retry > 0.0  # the inter-attempt ARQ gap
+        assert any(
+            node.name == "net.transmit" and node.attributes.get("attempt") == 2
+            for node in result.spans
+        )
+        assert invocation.reconciles()
+
+    def test_truncated_span_set_degrades_gracefully(self):
+        world, a, b = traced_pair()
+        result = run_calls(world, a, calls=2)
+        spans = [node.to_dict() for node in world.tracer.finished_spans()]
+        # Simulate ring eviction: drop every root, keeping the children.
+        truncated = [
+            data for data in spans if data["parent_id"] is not None
+        ]
+        degraded = TraceAnalysis.from_spans(truncated)
+        assert degraded.orphans > 0
+        assert degraded.invocations == []  # no roots -> no invocations
+        assert degraded.problems() == []   # degraded, not broken
+        assert degraded.metrics()["trace.critical_path.p99"] == 0.0
+
+    def test_same_seed_analyses_bit_identical(self):
+        runs = []
+        for _ in range(2):
+            world, a, b = traced_pair(seed=11)
+            runs.append(run_calls(world, a, calls=3).metrics())
+        assert runs[0] == runs[1]
+
+
+# ---------------------------------------------------------------------------
+# Exports
+# ---------------------------------------------------------------------------
+
+
+class TestChromeExport:
+    def test_document_shape(self):
+        world, a, b = traced_pair()
+        result = run_calls(world, a, calls=2)
+        document = result.to_chrome()
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        complete = [event for event in events if event["ph"] == "X"]
+        metadata = [event for event in events if event["ph"] == "M"]
+        assert len(complete) == len(result.spans)
+        # One process-name record per span source.
+        sources = {span.source for span in result.spans}
+        assert len(metadata) == len(sources)
+        for event in complete:
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+            assert isinstance(event["pid"], int)
+        # Valid JSON end to end.
+        json.loads(json.dumps(document))
+
+    def test_export_is_deterministic(self):
+        world, a, b = traced_pair()
+        result = run_calls(world, a, calls=2)
+        assert result.to_chrome() == result.to_chrome()
+
+
+class TestMetricsFamily:
+    def test_shares_sum_to_one(self):
+        world, a, b = traced_pair()
+        metrics = run_calls(world, a, calls=3).metrics()
+        total_share = sum(metrics[f"trace.{bucket}_share"] for bucket in BUCKETS)
+        assert total_share == pytest.approx(1.0)
+
+    def test_report_capture_carries_trace_metrics(self):
+        from repro.obs import RunReport
+
+        world, a, b = traced_pair()
+        run_calls(world, a, calls=2)
+        report = RunReport.capture("t", world, created_at=world.env.now)
+        assert report.metrics["trace.invocations"] == 2.0
+        assert "trace.critical_path.p99" in report.metrics
+        # Reconciliation against the pipeline's own histograms holds.
+        assert TraceAnalysis.from_report(report).problems(report.metrics) == []

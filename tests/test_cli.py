@@ -33,7 +33,9 @@ class TestCliInProcess:
     def test_parser_knows_all_commands(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("info", "demo", "assess", "report", "compare"):
+        for command in (
+            "info", "demo", "assess", "report", "compare", "trace",
+        ):
             assert command in text
 
     def test_module_docstring_enumerates_all_commands(self):
@@ -85,6 +87,101 @@ class TestReportCliErrors:
         RunReport("tiny", metrics={"a.b": 1.0}).write(path)
         assert main(["report", path]) == 0
         assert "run report — tiny" in capsys.readouterr().out
+
+
+def _write_traced_report(path):
+    """A tiny two-call traced run, captured as a full report."""
+    from repro.core import World, mutual_trust, standard_host
+    from repro.net import Position, WIFI_ADHOC
+    from repro.obs import RunReport
+
+    world = World(seed=3, trace_enabled=True)
+    world.transport._rng.random = lambda: 0.999
+    a = standard_host(world, "a", Position(0, 0), [WIFI_ADHOC])
+    b = standard_host(world, "b", Position(10, 0), [WIFI_ADHOC])
+    mutual_trust(a, b)
+    b.register_service("echo", lambda args, host: (args, 32))
+
+    def go():
+        for index in range(2):
+            yield from a.component("cs").call("b", "echo", index)
+
+    process = world.env.process(go())
+    world.run(until=process)
+    world.run(until=world.now + 5.0)
+    report = RunReport.capture("traced", world, created_at=world.env.now)
+    report.write(str(path))
+    return str(path)
+
+
+class TestTraceCli:
+    @pytest.fixture(scope="class")
+    def traced_report(self, tmp_path_factory):
+        return _write_traced_report(
+            tmp_path_factory.mktemp("trace") / "traced.json"
+        )
+
+    def test_summary(self, traced_report, capsys):
+        assert main(["trace", "summary", traced_report]) == 0
+        out = capsys.readouterr().out
+        assert "latency attribution" in out
+        assert "trace.critical_path.p99" in out
+
+    def test_summary_strict_passes_on_clean_run(self, traced_report, capsys):
+        assert main(["trace", "summary", traced_report, "--strict"]) == 0
+
+    def test_critical_path(self, traced_report, capsys):
+        assert main(
+            ["trace", "critical-path", traced_report, "--top", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cs.call" in out
+        assert "total" in out
+
+    def test_slowest(self, traced_report, capsys):
+        assert main(["trace", "slowest", traced_report, "-n", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "slowest invocations" in out
+
+    def test_export_chrome_stdout(self, traced_report, capsys):
+        import json
+
+        assert main(["trace", "export", traced_report]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["traceEvents"]
+        assert document["displayTimeUnit"] == "ms"
+
+    def test_export_chrome_to_file(self, traced_report, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        assert main(
+            [
+                "trace", "export", traced_report,
+                "--format", "chrome", "--out", str(out_path), "--strict",
+            ]
+        ) == 0
+        with open(out_path) as handle:
+            document = json.load(handle)
+        assert any(event["ph"] == "X" for event in document["traceEvents"])
+
+    def test_unknown_report_exits_nonzero(self, capsys):
+        assert main(["trace", "summary", "no-such-report-anywhere"]) == 1
+        assert "no report named" in capsys.readouterr().err
+
+    def test_spanless_report_exits_nonzero(self, tmp_path, capsys):
+        from repro.obs import RunReport
+
+        path = str(tmp_path / "bare.json")
+        RunReport("bare", metrics={"a": 1.0}).write(path)
+        assert main(["trace", "summary", path]) == 1
+        assert "no spans" in capsys.readouterr().err
+
+    def test_corrupt_json_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        assert main(["trace", "summary", str(bad)]) == 1
+        assert "not valid JSON" in capsys.readouterr().err
 
 
 class TestCliSubprocess:
