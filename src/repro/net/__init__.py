@@ -13,6 +13,7 @@ from .message import HEADER_BYTES, Message
 from .mobility import PathMobility, RandomWaypoint, grid_positions
 from .monitor import ConnectivityMonitor
 from .network import (
+    AdjacencyView,
     Link,
     Network,
     PhysicalNetwork,
@@ -20,7 +21,7 @@ from .network import (
     prefer_free_then_fast,
 )
 from .node import Interface, NetworkNode
-from .routing import Router, RoutingTable
+from .routing import HierarchicalRouter, Router, RoutingTable
 from .technologies import (
     BACKBONE_LATENCY_S,
     BLUETOOTH,
@@ -43,6 +44,7 @@ from .transport import ACK_BYTES, Transport
 
 __all__ = [
     "ACK_BYTES",
+    "AdjacencyView",
     "Area",
     "BACKBONE_LATENCY_S",
     "BLUETOOTH",
@@ -52,6 +54,7 @@ __all__ = [
     "DIALUP",
     "GPRS",
     "HEADER_BYTES",
+    "HierarchicalRouter",
     "Interface",
     "LAN",
     "Link",

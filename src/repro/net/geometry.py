@@ -81,9 +81,29 @@ class SpatialGrid:
     def __contains__(self, item_id: str) -> bool:
         return item_id in self._positions
 
-    def _cell_of(self, position: Position) -> Tuple[int, int]:
+    def cell_of(self, position: Position) -> Tuple[int, int]:
+        """The (cx, cy) cell coordinates covering ``position``.
+
+        Cell coordinates are only meaningful for one ``cell_size``;
+        :meth:`rebuild` renumbers every cell, so consumers caching
+        per-cell data must key on the size (or watch it) too.
+        """
         size = self.cell_size
         return (int(math.floor(position.x / size)), int(math.floor(position.y / size)))
+
+    # Kept as the internal spelling used before the cell API went public.
+    _cell_of = cell_of
+
+    def position_of(self, item_id: str) -> Position:
+        """Current indexed position of ``item_id`` (KeyError if absent)."""
+        return self._positions[item_id]
+
+    def items_in_cell(self, cell: Tuple[int, int]) -> Tuple[str, ...]:
+        """Ids bucketed in ``cell``, in insertion order (empty if none)."""
+        bucket = self._cells.get(cell)
+        if not bucket:
+            return ()
+        return tuple(bucket)
 
     def insert(self, item_id: str, position: Position) -> None:
         if item_id in self._positions:

@@ -71,6 +71,23 @@ class ConnectivityMonitor:
                     float(len(self.current))
                 )
             return
+        if self._scanned_epoch is not None:
+            # The epoch moved, but maybe nowhere near us: if no change
+            # since our last scan touched a cell within one ring of our
+            # cell, no link of ours can have changed (cell size covers
+            # every radio range, and movers dirty both old and new
+            # cells), so the neighbour set is provably identical.
+            ring = self.network._dirty_ring(self._scanned_epoch)
+            if ring is not None and (
+                self.network.grid.cell_of(self.node.position) not in ring
+            ):
+                self._scanned_epoch = epoch
+                if self.metrics is not None:
+                    self.metrics.counter("monitor.scans_elided").increment()
+                    self.metrics.gauge("monitor.neighbors").set(
+                        float(len(self.current))
+                    )
+                return
         self._scanned_epoch = epoch
         fresh = {
             neighbor.id

@@ -19,18 +19,47 @@ enumeration uses a :class:`~repro.net.geometry.SpatialGrid` so range
 queries touch only nearby nodes instead of the whole registry.  The
 cached fast paths are bit-identical to the naive sweeps kept in
 :mod:`repro.net.reference` (property-tested under random mobility).
+
+Three mechanisms make the fabric scale past ~10k nodes (see
+docs/PERFORMANCE.md, "City-scale routing"):
+
+* **Implicit backbone clique.**  Every pair of backbone-attached nodes
+  connects, which is O(n²) edges if written down.  :meth:`adjacency`
+  returns an :class:`AdjacencyView` that stores the attached set as one
+  frozenset and answers clique membership on the fly, so a snapshot is
+  O(nodes + ad-hoc edges) and BFS absorbs the whole clique in one step.
+* **Dirty log.**  Each epoch bump records *which* node (and which grid
+  cells) changed.  Consumers — the per-pair/per-node caches below, the
+  routing tables, the connectivity monitor — ask
+  :meth:`dirty_since`/:meth:`dirty_cells_since` and repair only what a
+  dirty node can have touched instead of recomputing the world.
+* **Move elision.**  A ``move_to`` that provably changes no link
+  predicate (same grid cell, identical in-range sets at every radio
+  range the node carries) updates the grid and *does not* bump the
+  epoch at all: mobility jitter inside a cell is free.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
 from ..errors import NetworkError
 from ..sim import Environment
-from .geometry import SpatialGrid
+from .geometry import Position, SpatialGrid
 from .node import Interface, NetworkNode
 from .technologies import BACKBONE_LATENCY_S, LinkTechnology
+
+Cell = Tuple[int, int]
 
 
 @dataclass(frozen=True)
@@ -107,12 +136,182 @@ def prefer_fast(link: Link) -> tuple:
 _MISSING = object()
 
 
+class AdjacencyView(Mapping):
+    """Adjacency snapshot with the backbone clique kept *implicit*.
+
+    Ad-hoc edges are explicit (per up-node sorted neighbour tuples);
+    the backbone-attached set is a single frozenset, and every pair of
+    its members is connected by definition.  Materialising a node's
+    full neighbour set (``view[node_id]``) therefore costs O(degree +
+    clique) *per call* — fine for tests and small graphs — while
+    holding the snapshot costs O(nodes + ad-hoc edges) no matter how
+    large the clique is.  BFS consumers should use
+    :func:`bfs_reachable`/:func:`bfs_tree`, which absorb the clique in
+    one step instead of walking its quadratic edge set.
+
+    Only *up* nodes appear as keys: crashed nodes have no links, so
+    they contribute neither buckets nor clique membership.
+    """
+
+    __slots__ = ("_adhoc", "_backbone")
+
+    def __init__(
+        self,
+        adhoc: Dict[str, Tuple[str, ...]],
+        backbone: FrozenSet[str],
+    ) -> None:
+        self._adhoc = adhoc
+        self._backbone = backbone
+
+    @property
+    def backbone(self) -> FrozenSet[str]:
+        """The backbone-attached up nodes (pairwise connected clique)."""
+        return self._backbone
+
+    def adhoc_neighbors(self, node_id: str) -> Tuple[str, ...]:
+        """Sorted explicit ad-hoc neighbours of ``node_id`` (no clique)."""
+        return self._adhoc.get(node_id, ())
+
+    def __getitem__(self, node_id: str) -> FrozenSet[str]:
+        bucket = self._adhoc[node_id]
+        if node_id in self._backbone:
+            return frozenset(bucket).union(self._backbone) - {node_id}
+        return frozenset(bucket)
+
+    def get(self, node_id: str, default=frozenset()):
+        if node_id not in self._adhoc:
+            return default
+        return self[node_id]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._adhoc)
+
+    def __len__(self) -> int:
+        return len(self._adhoc)
+
+    def __contains__(self, node_id: object) -> bool:
+        return node_id in self._adhoc
+
+    def edge_count(self) -> int:
+        """Count of *materialised* (directed) edges — excludes the clique."""
+        return sum(len(bucket) for bucket in self._adhoc.values())
+
+
+def _merge_sorted(a: Tuple[str, ...], b: List[str]) -> Iterator[str]:
+    """Merge two sorted id sequences into sorted order (dups preserved)."""
+    i = j = 0
+    len_a, len_b = len(a), len(b)
+    while i < len_a and j < len_b:
+        if a[i] <= b[j]:
+            yield a[i]
+            i += 1
+        else:
+            yield b[j]
+            j += 1
+    while i < len_a:
+        yield a[i]
+        i += 1
+    while j < len_b:
+        yield b[j]
+        j += 1
+
+
+def bfs_reachable(view: AdjacencyView, start_id: str) -> FrozenSet[str]:
+    """Transitive closure over ``view`` with one-shot clique absorption."""
+    adhoc = view._adhoc
+    backbone = view._backbone
+    seen = {start_id}
+    frontier = [start_id]
+    clique_absorbed = not backbone
+    while frontier:
+        current = frontier.pop()
+        for neighbor in adhoc.get(current, ()):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append(neighbor)
+        if not clique_absorbed and current in backbone:
+            # Reaching any clique member reaches them all; absorbing the
+            # whole set once avoids walking the O(n²) implicit edges.
+            clique_absorbed = True
+            for neighbor in backbone:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+    return frozenset(seen)
+
+
+def bfs_tree(
+    view: AdjacencyView,
+    source_id: str,
+    target_id: Optional[str] = None,
+) -> Dict[str, str]:
+    """BFS predecessor tree over ``view``, clique-aware.
+
+    Bit-identical to a BFS that expands ``sorted(materialised
+    neighbours)`` per node (the reference semantics): each expansion
+    iterates the *sorted union* of the node's ad-hoc bucket and — for
+    clique members — the not-yet-discovered clique remainder, so
+    predecessor assignment and frontier order match the naive sweep
+    exactly while the clique's edges are walked at most once per BFS.
+    With ``target_id`` given, returns as soon as the target is
+    discovered (the tree is then partial but the source→target walk is
+    complete and identical to the full tree's).
+    """
+    adhoc = view._adhoc
+    backbone = view._backbone
+    previous: Dict[str, str] = {}
+    seen = {source_id}
+    # Clique members nobody has discovered yet, sorted for merging.
+    pending = sorted(backbone - seen) if backbone else []
+    frontier = [source_id]
+    while frontier:
+        next_frontier: List[str] = []
+        for current in frontier:
+            bucket = adhoc.get(current, ())
+            if pending and current in backbone:
+                neighbors = _merge_sorted(bucket, pending)
+                # Every pending member is a neighbour of ``current`` and
+                # gets discovered in the loop below (or already was).
+                pending = []
+            else:
+                neighbors = iter(bucket)
+            for neighbor in neighbors:
+                if neighbor in seen:
+                    continue
+                seen.add(neighbor)
+                previous[neighbor] = current
+                if neighbor == target_id:
+                    return previous
+                next_frontier.append(neighbor)
+        frontier = next_frontier
+    return previous
+
+
+def walk_tree(
+    previous: Dict[str, str], source_id: str, target_id: str
+) -> Optional[List[str]]:
+    """Source→target node path from a predecessor tree, or None."""
+    if source_id == target_id:
+        return [source_id]
+    if target_id not in previous:
+        return None
+    walk = [target_id]
+    while walk[-1] != source_id:
+        walk.append(previous[walk[-1]])
+    walk.reverse()
+    return walk
+
+
 class Network:
     """Registry of nodes plus epoch-cached connectivity queries."""
 
     #: Default spatial-hash cell size; grown to the longest radio range
     #: seen so a single query ring covers one full range circle.
     DEFAULT_CELL_M = 100.0
+
+    #: Dirty-log length; consumers further behind than this get a
+    #: conservative "everything dirty" answer.
+    DIRTY_LOG_CAP = 4096
 
     def __init__(self, env: Environment) -> None:
         self.env = env
@@ -123,15 +322,36 @@ class Network:
         self._order: Dict[str, int] = {}
         self._epoch = 0
         self._cache_epoch = -1
-        self._links_cache: Dict[Tuple[str, str], Tuple[Link, ...]] = {}
-        self._neighbors_cache: Dict[
-            Tuple[str, Optional[str]], Tuple[NetworkNode, ...]
+        #: Per-pair/per-node caches are *tagged* with the epoch they
+        #: were computed at and revalidated lazily against the dirty
+        #: log, so entries untouched by a localised change survive it.
+        self._links_cache: Dict[
+            Tuple[str, str], Tuple[int, Tuple[Link, ...]]
         ] = {}
-        self._adjacency_cache: Dict[bool, Dict[str, FrozenSet[str]]] = {}
+        self._neighbors_cache: Dict[
+            Tuple[str, Optional[str]], Tuple[int, Tuple[NetworkNode, ...]]
+        ] = {}
+        self._coverage_cache: Dict[Tuple[str, str], Tuple[int, bool]] = {}
+        #: Whole-graph snapshots still clear on any epoch change (their
+        #: consumers with repair logic live in repro.net.routing).
+        self._adjacency_cache: Dict[bool, AdjacencyView] = {}
         self._reachable_cache: Dict[Tuple[str, bool], FrozenSet[str]] = {}
         self._path_cache: Dict[Tuple[str, str, bool], object] = {}
-        self._coverage_cache: Dict[Tuple[str, str], bool] = {}
-        self.cache_stats = {"hits": 0, "misses": 0, "invalidations": 0}
+        self.cache_stats = {
+            "hits": 0,
+            "misses": 0,
+            "invalidations": 0,
+            "revalidations": 0,
+            "dirty_nodes": 0,
+            "moves_elided": 0,
+        }
+        #: Append-only (epoch, node_id-or-None, cells) journal of what
+        #: each bump touched; ``None`` node means a global change.
+        self._dirty_log: List[Tuple[int, Optional[str], Tuple[Cell, ...]]] = []
+        #: Epochs at or below this fell off the journal.
+        self._dirty_floor = 0
+        #: Memoised dirty-ring answers per from-epoch (cleared on bump).
+        self._dirty_ring_cache: Dict[int, Optional[FrozenSet[Cell]]] = {}
         #: Optional admission predicate over (sender id, receiver id):
         #: when set, pairs it rejects have no links at all — the
         #: injection point :mod:`repro.faults` uses to model network
@@ -149,10 +369,14 @@ class Network:
         self.nodes[node.id] = node
         self._order[node.id] = len(self._order)
         node._network = self
+        cell_size = self._grid.cell_size
         for interface in node.interfaces.values():
             self._note_range(interface.technology)
         self._grid.insert(node.id, node.position)
-        self._epoch += 1
+        if self._grid.cell_size != cell_size:
+            self._bump()  # grid rebuilt: every cached cell id is stale
+        else:
+            self._bump(node.id, (self._grid.cell_of(node.position),))
         return node
 
     def node(self, node_id: str) -> NetworkNode:
@@ -167,6 +391,11 @@ class Network:
     def __len__(self) -> int:
         return len(self.nodes)
 
+    @property
+    def grid(self) -> SpatialGrid:
+        """The live spatial index (read-only use by routers/monitors)."""
+        return self._grid
+
     # -- topology epoch -------------------------------------------------------
 
     @property
@@ -175,15 +404,120 @@ class Network:
         answers from every connectivity query."""
         return self._epoch
 
+    def _bump(
+        self, node_id: Optional[str] = None, cells: Tuple[Cell, ...] = ()
+    ) -> None:
+        """Advance the epoch, journalling what changed.
+
+        ``node_id=None`` records a *global* change (grid rebuild, link
+        filter swap): every dirty query until consumers resync answers
+        "everything".  Otherwise the single dirty node and the grid
+        cells it can have affected are appended to the log.
+        """
+        self._epoch += 1
+        self._dirty_ring_cache.clear()
+        log = self._dirty_log
+        log.append((self._epoch, node_id, cells))
+        if node_id is not None:
+            self.cache_stats["dirty_nodes"] += 1
+        if len(log) > self.DIRTY_LOG_CAP:
+            drop = len(log) // 2
+            self._dirty_floor = log[drop - 1][0]
+            del log[:drop]
+
+    def dirty_since(self, epoch: int) -> Tuple[int, Optional[FrozenSet[str]]]:
+        """Nodes whose connectivity can have changed after ``epoch``.
+
+        Returns ``(current_epoch, dirty_ids)``; ``dirty_ids`` is
+        ``None`` when the caller must assume everything changed (a
+        global mutation happened, or ``epoch`` predates the journal).
+        An up-to-date caller gets an empty frozenset.
+        """
+        if epoch >= self._epoch:
+            return (self._epoch, frozenset())
+        if epoch < self._dirty_floor:
+            return (self._epoch, None)
+        dirty: List[str] = []
+        for entry_epoch, node_id, _cells in reversed(self._dirty_log):
+            if entry_epoch <= epoch:
+                break
+            if node_id is None:
+                return (self._epoch, None)
+            dirty.append(node_id)
+        return (self._epoch, frozenset(dirty))
+
+    def dirty_cells_since(
+        self, epoch: int
+    ) -> Tuple[int, Optional[FrozenSet[Cell]]]:
+        """Grid cells touched by changes after ``epoch`` (None = all).
+
+        A moved node contributes both its old and new cell, so "no
+        dirty cell within one ring of mine" certifies an unchanged
+        neighbourhood (cell size ≥ every radio range).
+        """
+        if epoch >= self._epoch:
+            return (self._epoch, frozenset())
+        if epoch < self._dirty_floor:
+            return (self._epoch, None)
+        cells: List[Cell] = []
+        for entry_epoch, node_id, entry_cells in reversed(self._dirty_log):
+            if entry_epoch <= epoch:
+                break
+            if node_id is None:
+                return (self._epoch, None)
+            cells.extend(entry_cells)
+        return (self._epoch, frozenset(cells))
+
+    def _dirty_ring(self, epoch: int) -> Optional[FrozenSet[Cell]]:
+        """Dirty cells since ``epoch`` dilated by one ring, memoised.
+
+        A cached per-node/per-pair answer computed at ``epoch`` is
+        still valid iff none of its endpoints' cells is in this set
+        (``None`` = global change, nothing survives).
+        """
+        cached = self._dirty_ring_cache.get(epoch, _MISSING)
+        if cached is not _MISSING:
+            return cached  # type: ignore[return-value]
+        _, cells = self.dirty_cells_since(epoch)
+        ring: Optional[FrozenSet[Cell]]
+        if cells is None:
+            ring = None
+        else:
+            ring = frozenset(
+                (cx + dx, cy + dy)
+                for cx, cy in cells
+                for dx in (-1, 0, 1)
+                for dy in (-1, 0, 1)
+            )
+        self._dirty_ring_cache[epoch] = ring
+        return ring
+
+    def _entry_fresh(self, entry_epoch: int, *positions: Position) -> bool:
+        """True when a tagged cache entry provably still holds.
+
+        The entry is about nodes at ``positions``; it survives a newer
+        epoch iff no dirty cell lies within one ring of any of them —
+        no mutation since could have touched a link predicate whose
+        endpoints sit there.
+        """
+        ring = self._dirty_ring(entry_epoch)
+        if ring is None:
+            return False
+        cell_of = self._grid.cell_of
+        for position in positions:
+            if cell_of(position) in ring:
+                return False
+        return True
+
     def cache_info(self) -> Dict[str, float]:
         """Flat snapshot of cache effectiveness for reports/benchmarks."""
-        return {
+        info = {
             "epoch": float(self._epoch),
-            "hits": float(self.cache_stats["hits"]),
-            "misses": float(self.cache_stats["misses"]),
-            "invalidations": float(self.cache_stats["invalidations"]),
             "grid_cell_m": self._grid.cell_size,
         }
+        for key, value in self.cache_stats.items():
+            info[key] = float(value)
+        return info
 
     @property
     def link_filter(self) -> Optional[Callable[[str, str], bool]]:
@@ -202,7 +536,7 @@ class Network:
         call bumps the epoch).
         """
         self._link_filter = predicate
-        self._epoch += 1
+        self._bump()
 
     def _note_range(self, technology: LinkTechnology) -> None:
         if technology.range_m > self._grid.cell_size:
@@ -211,25 +545,77 @@ class Network:
     # Mutation hooks, called from NetworkNode/Interface.
 
     def _node_moved(self, node: NetworkNode) -> None:
-        if self.nodes.get(node.id) is node:
-            self._grid.move(node.id, node.position)
-            self._epoch += 1
+        if self.nodes.get(node.id) is not node:
+            return
+        grid = self._grid
+        old = grid.position_of(node.id)
+        new = node.position
+        old_cell = grid.cell_of(old)
+        new_cell = grid.cell_of(new)
+        if old_cell == new_cell and self._in_range_sets_unchanged(
+            node, old, new
+        ):
+            # The move provably changed no link predicate: every pair
+            # distance stays on the same side of every relevant range
+            # threshold.  Track the position, skip the epoch entirely.
+            grid.move(node.id, new)
+            self.cache_stats["moves_elided"] += 1
+            return
+        grid.move(node.id, new)
+        if old_cell == new_cell:
+            self._bump(node.id, (new_cell,))
+        else:
+            self._bump(node.id, (old_cell, new_cell))
+
+    def _in_range_sets_unchanged(
+        self, node: NetworkNode, old: Position, new: Position
+    ) -> bool:
+        """True when no in-range set at any of ``node``'s radio ranges
+        differs between ``old`` and ``new``.
+
+        Distance only enters link computation through ``distance ≤
+        range_m`` tests at the ranges of technologies this node carries
+        (shared-technology ad-hoc links and access-point coverage both
+        use the node's own technology's range), so unchanged in-range
+        id sets at each such range mean unchanged connectivity.
+        """
+        grid = self._grid
+        ranges = {
+            interface.technology.range_m
+            for interface in node.interfaces.values()
+            if interface.technology.range_m > 0.0
+        }
+        exclude = {node.id}
+        for radius in ranges:
+            before = set(grid.near(old, radius)) - exclude
+            after = set(grid.near(new, radius)) - exclude
+            if before != after:
+                return False
+        return True
 
     def _topology_changed(self, node: NetworkNode) -> None:
-        self._epoch += 1
+        if self.nodes.get(node.id) is node:
+            self._bump(node.id, (self._grid.cell_of(node.position),))
+        else:
+            self._bump(node.id)
 
-    def _interface_added(self, node: NetworkNode, technology: LinkTechnology) -> None:
+    def _interface_added(
+        self, node: NetworkNode, technology: LinkTechnology
+    ) -> None:
+        cell_size = self._grid.cell_size
         self._note_range(technology)
-        self._epoch += 1
+        if self._grid.cell_size != cell_size:
+            self._bump()  # rebuild renumbered every cell
+        else:
+            self._topology_changed(node)
 
     def _validate_caches(self) -> None:
         if self._cache_epoch != self._epoch:
-            self._links_cache.clear()
-            self._neighbors_cache.clear()
+            # Whole-graph products clear; tagged per-node/per-pair
+            # entries are revalidated individually at read time.
             self._adjacency_cache.clear()
             self._reachable_cache.clear()
             self._path_cache.clear()
-            self._coverage_cache.clear()
             self._cache_epoch = self._epoch
             self.cache_stats["invalidations"] += 1
 
@@ -246,14 +632,21 @@ class Network:
         if cacheable:
             self._validate_caches()
             key = (a.id, b.id)
-            cached = self._links_cache.get(key)
-            if cached is not None:
-                self.cache_stats["hits"] += 1
-                return cached
+            entry = self._links_cache.get(key)
+            if entry is not None:
+                entry_epoch, links = entry
+                if entry_epoch == self._epoch:
+                    self.cache_stats["hits"] += 1
+                    return links
+                if self._entry_fresh(entry_epoch, a.position, b.position):
+                    self._links_cache[key] = (self._epoch, links)
+                    self.cache_stats["hits"] += 1
+                    self.cache_stats["revalidations"] += 1
+                    return links
             self.cache_stats["misses"] += 1
         links = self._compute_links(a, b)
         if cacheable:
-            self._links_cache[key] = links
+            self._links_cache[key] = (self._epoch, links)
         return links
 
     def _compute_links(self, a: NetworkNode, b: NetworkNode) -> Tuple[Link, ...]:
@@ -307,9 +700,15 @@ class Network:
         if cacheable:
             self._validate_caches()
             key = (node.id, technology.name)
-            cached = self._coverage_cache.get(key)
-            if cached is not None:
-                return cached
+            entry = self._coverage_cache.get(key)
+            if entry is not None:
+                entry_epoch, covered = entry
+                if entry_epoch == self._epoch:
+                    return covered
+                if self._entry_fresh(entry_epoch, node.position):
+                    self._coverage_cache[key] = (self._epoch, covered)
+                    self.cache_stats["revalidations"] += 1
+                    return covered
         covered = False
         for other_id in self._grid.near(node.position, technology.range_m):
             if other_id == node.id:
@@ -323,7 +722,7 @@ class Network:
             covered = True
             break
         if cacheable:
-            self._coverage_cache[key] = covered
+            self._coverage_cache[key] = (self._epoch, covered)
         return covered
 
     def best_link(
@@ -356,10 +755,17 @@ class Network:
         key = (node.id, technology.name if technology is not None else None)
         if cacheable:
             self._validate_caches()
-            cached = self._neighbors_cache.get(key)
-            if cached is not None:
-                self.cache_stats["hits"] += 1
-                return cached
+            entry = self._neighbors_cache.get(key)
+            if entry is not None:
+                entry_epoch, cached = entry
+                if entry_epoch == self._epoch:
+                    self.cache_stats["hits"] += 1
+                    return cached
+                if self._entry_fresh(entry_epoch, node.position):
+                    self._neighbors_cache[key] = (self._epoch, cached)
+                    self.cache_stats["hits"] += 1
+                    self.cache_stats["revalidations"] += 1
+                    return cached
             self.cache_stats["misses"] += 1
         # Any ad-hoc neighbour must sit within the longest usable ad-hoc
         # range of this node, so a single grid ring bounds the sweep.
@@ -393,14 +799,20 @@ class Network:
                     break
         result = tuple(found)
         if cacheable:
-            self._neighbors_cache[key] = result
+            self._neighbors_cache[key] = (self._epoch, result)
         return result
 
-    def adjacency(self, adhoc_only: bool = False) -> Dict[str, FrozenSet[str]]:
-        """Snapshot of the connectivity graph as an adjacency mapping.
+    def adjacency(self, adhoc_only: bool = False) -> AdjacencyView:
+        """Snapshot of the connectivity graph as an :class:`AdjacencyView`.
 
-        The returned mapping is a cached, immutable-valued snapshot —
-        treat it as read-only.
+        Ad-hoc edges are explicit; the backbone-attached set is kept as
+        an implicit clique (one frozenset), so the snapshot costs
+        O(up nodes + ad-hoc edges) regardless of how many nodes can
+        reach the backbone.  Only *up* nodes appear as keys.  With the
+        partition filter installed the clique is no longer complete, so
+        the surviving backbone pairs are materialised explicitly (the
+        chaos-scale worlds are small).  The returned view is cached and
+        immutable — treat it as read-only.
         """
         self._validate_caches()
         cached = self._adjacency_cache.get(adhoc_only)
@@ -408,37 +820,36 @@ class Network:
             self.cache_stats["hits"] += 1
             return cached
         self.cache_stats["misses"] += 1
-        sets: Dict[str, set] = {node_id: set() for node_id in self.nodes}
-        # Ad-hoc edges via per-node range queries (symmetric relation).
-        for node in self.nodes.values():
-            if not node.up:
-                continue
-            bucket = sets[node.id]
-            for other in self.neighbors(node):
-                bucket.add(other.id)
+        sets: Dict[str, set] = {}
+        up_nodes = [node for node in self.nodes.values() if node.up]
+        for node in up_nodes:
+            sets[node.id] = {other.id for other in self.neighbors(node)}
+        backbone: FrozenSet[str] = frozenset()
         if not adhoc_only:
-            # Every pair of backbone-attached nodes connects: a clique.
             attached = [
-                node
-                for node in self.nodes.values()
-                if node.up and self._has_backbone_access(node)
+                node.id
+                for node in up_nodes
+                if self._has_backbone_access(node)
             ]
             link_filter = self._link_filter
-            for index, a in enumerate(attached):
-                a_bucket = sets[a.id]
-                for b in attached[index + 1 :]:
-                    if link_filter is not None and not (
-                        link_filter(a.id, b.id) and link_filter(b.id, a.id)
-                    ):
-                        continue
-                    a_bucket.add(b.id)
-                    sets[b.id].add(a.id)
-        graph = {
-            node_id: frozenset(neighbor_ids)
-            for node_id, neighbor_ids in sets.items()
-        }
-        self._adjacency_cache[adhoc_only] = graph
-        return graph
+            if link_filter is None:
+                backbone = frozenset(attached)
+            else:
+                for index, a_id in enumerate(attached):
+                    a_bucket = sets[a_id]
+                    for b_id in attached[index + 1 :]:
+                        if link_filter(a_id, b_id) and link_filter(b_id, a_id):
+                            a_bucket.add(b_id)
+                            sets[b_id].add(a_id)
+        view = AdjacencyView(
+            {
+                node_id: tuple(sorted(neighbor_ids))
+                for node_id, neighbor_ids in sets.items()
+            },
+            backbone,
+        )
+        self._adjacency_cache[adhoc_only] = view
+        return view
 
     def _has_backbone_access(self, node: NetworkNode) -> bool:
         for iface in node.usable_interfaces():
@@ -457,16 +868,8 @@ class Network:
             self.cache_stats["hits"] += 1
             return cached
         self.cache_stats["misses"] += 1
-        graph = self.adjacency(adhoc_only=adhoc_only)
-        seen = {start_id}
-        frontier = [start_id]
-        while frontier:
-            current = frontier.pop()
-            for neighbor in graph.get(current, ()):
-                if neighbor not in seen:
-                    seen.add(neighbor)
-                    frontier.append(neighbor)
-        result = frozenset(seen)
+        view = self.adjacency(adhoc_only=adhoc_only)
+        result = bfs_reachable(view, start_id)
         self._reachable_cache[key] = result
         return result
 
@@ -483,30 +886,9 @@ class Network:
             self.cache_stats["hits"] += 1
             return list(cached) if cached is not None else None  # type: ignore[arg-type]
         self.cache_stats["misses"] += 1
-        graph = self.adjacency(adhoc_only=adhoc_only)
-        previous: Dict[str, str] = {}
-        seen = {source_id}
-        frontier = [source_id]
-        path: Optional[List[str]] = None
-        while frontier and path is None:
-            next_frontier: List[str] = []
-            for current in frontier:
-                for neighbor in sorted(graph.get(current, ())):
-                    if neighbor in seen:
-                        continue
-                    seen.add(neighbor)
-                    previous[neighbor] = current
-                    if neighbor == target_id:
-                        walk = [target_id]
-                        while walk[-1] != source_id:
-                            walk.append(previous[walk[-1]])
-                        walk.reverse()
-                        path = walk
-                        break
-                    next_frontier.append(neighbor)
-                if path is not None:
-                    break
-            frontier = next_frontier
+        view = self.adjacency(adhoc_only=adhoc_only)
+        tree = bfs_tree(view, source_id, target_id)
+        path = walk_tree(tree, source_id, target_id)
         self._path_cache[key] = tuple(path) if path is not None else None
         return path
 

@@ -97,8 +97,12 @@ def naive_neighbors(
 def naive_adjacency(
     network: Network, adhoc_only: bool = False
 ) -> Dict[str, Set[str]]:
-    """O(N²) pairwise adjacency snapshot."""
-    ids = list(network.nodes)
+    """O(N²) pairwise adjacency snapshot.
+
+    Only *up* nodes appear as keys: a crashed node has no links, so it
+    contributes nothing to connectivity and BFS must not see it.
+    """
+    ids = [node_id for node_id, node in network.nodes.items() if node.up]
     graph: Dict[str, Set[str]] = {node_id: set() for node_id in ids}
     for index, a_id in enumerate(ids):
         for b_id in ids[index + 1 :]:

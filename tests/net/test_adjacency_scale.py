@@ -1,0 +1,63 @@
+"""Adjacency snapshots must stay sublinear in the backbone clique.
+
+The implicit-clique representation keeps the backbone-attached set as
+one frozenset instead of O(n²) materialised edges; this test pins that
+property with tracemalloc at thousands of attached nodes (a quadratic
+snapshot would blow the ratio to ~4x when the world doubles).
+"""
+
+import gc
+import tracemalloc
+
+from repro.net import LAN, Network, NetworkNode, Position
+from repro.sim import Environment
+
+
+def _backbone_world(count):
+    env = Environment()
+    network = Network(env)
+    for i in range(count):
+        network.add_node(
+            NetworkNode(
+                env,
+                f"srv{i}",
+                Position(10.0 * (i % 100), 10.0 * (i // 100)),
+                technologies=[LAN],
+                fixed=True,
+            )
+        )
+    return network
+
+
+def _snapshot_bytes(count):
+    network = _backbone_world(count)
+    gc.collect()
+    tracemalloc.start()
+    try:
+        before, _ = tracemalloc.get_traced_memory()
+        view = network.adjacency()
+        after, _ = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    assert len(view.backbone) == count
+    assert view.edge_count() == 0  # nothing materialised
+    assert len(view["srv0"]) == count - 1  # ...but the clique is there
+    return after - before
+
+
+class TestImplicitCliqueMemory:
+    def test_snapshot_memory_sublinear_in_clique_size(self):
+        half = _snapshot_bytes(2500)
+        full = _snapshot_bytes(5000)
+        assert full > 0 and half > 0
+        ratio = full / half
+        # Linear doubles (~2); the old quadratic clique quadrupled.
+        assert ratio < 3.0, f"snapshot memory grew {ratio:.1f}x for 2x nodes"
+
+    def test_clique_bfs_touches_clique_once(self):
+        network = _backbone_world(2000)
+        # One flat BFS over the implicit clique: reaches everyone in a
+        # single absorption step instead of walking 2M edges.
+        reachable = network.reachable_set("srv0")
+        assert len(reachable) == 2000
+        assert network.shortest_path("srv0", "srv1999") == ["srv0", "srv1999"]

@@ -267,8 +267,11 @@ class TestTopologyEpoch:
         a = network.add_node(mobile(env, "a", 0, 0))
         network.add_node(mobile(env, "b", 50, 0, techs=[WIFI_ADHOC, GPRS]))
         epoch = network.topology_epoch
-        a.move_to(Position(10, 0))
+        # Out-of-range, cross-cell move; small in-cell jitter that
+        # changes no in-range set is elided (see TestMoveElision).
+        a.move_to(Position(200, 0))
         assert network.topology_epoch > epoch
+        a.move_to(Position(0, 0))
         epoch = network.topology_epoch
         a.crash()
         assert network.topology_epoch > epoch
