@@ -17,6 +17,12 @@ drop/duplicate/delay/corrupt windows) and enforces three properties:
   report is a full document ``python -m repro trace`` can analyse; the
   per-invocation latency attribution must reconcile with the
   ``paradigm.<kind>.seconds`` histograms even under injected faults.
+* **Fleet health**: both runs are armed with the four standard
+  per-node SLO monitors (completion, stale replies, retry burn,
+  reachability).  The fault windows *must* trip degraded verdicts —
+  an SLO set that never fires under injected faults is miswired — but
+  nothing may go critical: the written report has to survive
+  ``python -m repro health chaos --strict``, the same gate CI runs.
 
 ``--quick`` shrinks the fleet and request count for CI smoke runs; the
 floor document applies to both sizes (its ceilings are sized for the
@@ -25,7 +31,8 @@ full run, which the quick run sits comfortably under).
 
 from __future__ import annotations
 
-from repro.faults import run_chaos
+from repro.__main__ import main as repro_main
+from repro.faults import run_chaos, standard_slos
 from repro.obs import TraceAnalysis
 
 from _common import gate_against_baseline, quick, write_report_document
@@ -41,8 +48,12 @@ def _params():
 
 def test_chaos_recovery_gate():
     params = _params()
-    first = run_chaos(seed=SEED, spans_enabled=True, **params)
-    second = run_chaos(seed=SEED, spans_enabled=True, **params)
+    first = run_chaos(
+        seed=SEED, spans_enabled=True, slos=standard_slos(), **params
+    )
+    second = run_chaos(
+        seed=SEED, spans_enabled=True, slos=standard_slos(), **params
+    )
 
     # Determinism first: a nondeterministic chaos run is ungateable.
     assert first.summary == second.summary, (
@@ -62,9 +73,31 @@ def test_chaos_recovery_gate():
         "trace attribution failed to reconcile:\n" + "\n".join(problems)
     )
 
+    # The fault windows must register on the per-node monitors: degraded
+    # transitions prove the SLOs watch the right families, while the
+    # strict gate below proves nothing crossed a critical threshold.
+    health = first.report["health"]
+    assert health, (
+        "armed chaos run produced no health section — the standard SLOs "
+        "never left 'ok' under injected faults"
+    )
+    assert health["events"], "health section present but no transitions"
+    assert health["verdicts"], "health section present but no verdicts"
+    assert all(
+        level in ("ok", "degraded")
+        for nodes in health["verdicts"].values()
+        for level in nodes.values()
+    ), f"critical SLO verdict under the standard plan: {health['verdicts']}"
+    assert first.report["flight"], (
+        "breaches occurred but no flight-recorder dump was captured"
+    )
+
     # Full document (spans included), so `python -m repro trace chaos`
     # works on the written result.
-    write_report_document("chaos", first.report)
+    path = write_report_document("chaos", first.report)
+    assert repro_main(["health", path, "--strict"]) == 0, (
+        "python -m repro health --strict flagged a critical breach"
+    )
     diff = gate_against_baseline("chaos")
     print(
         f"\nchaos: {first.completed}/{first.requests} requests completed "

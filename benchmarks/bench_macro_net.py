@@ -38,7 +38,7 @@ from repro.net import (
     RoutingTable,
     WIFI_ADHOC,
 )
-from repro.sim import Environment
+from repro.sim import Environment, MetricsRegistry
 
 from _common import gate_against_baseline, quick, write_report_data, write_result
 
@@ -48,6 +48,11 @@ SPACING_M = 75.0
 MOVERS_PER_ROUND = 20
 PATHS_PER_ROUND = 30
 SCANS_PER_ROUND = 50
+
+#: Sample cap for the benchmark's metric registry: gauges/histograms
+#: decimate (deterministic ordinal-stride thinning) instead of holding
+#: one float per observation across the whole sweep.
+MAX_RETAINED = 64
 
 
 def sizes():
@@ -135,8 +140,17 @@ def test_city_scale_round_beats_legacy_1k(benchmark):
     rounds = rounds_per_size()
     base_size = sizes()[0]
 
+    # Long benchmarks meter through a sample-capped registry: every
+    # planner counter is per-source labeled, and unbounded histograms
+    # decimate down to MAX_RETAINED samples instead of growing with the
+    # sweep (both planners carry the identical metering overhead, so
+    # the gated ratio is unaffected).
+    registry = MetricsRegistry(max_samples=MAX_RETAINED)
+
     legacy_network = _build_world(base_size)
-    legacy_table = RoutingTable(legacy_network, adhoc_only=True, repair=False)
+    legacy_table = RoutingTable(
+        legacy_network, adhoc_only=True, repair=False, metrics=registry
+    )
     legacy_round_s = _run_rounds(
         legacy_network, legacy_table, _script(base_size, rounds + 1)
     )
@@ -146,7 +160,9 @@ def test_city_scale_round_beats_legacy_1k(benchmark):
     top_planner = None
     for size in sizes():
         network = _build_world(size)
-        planner = HierarchicalRouter(network, adhoc_only=True)
+        planner = HierarchicalRouter(
+            network, adhoc_only=True, metrics=registry
+        )
         curve[size] = _run_rounds(network, planner, _script(size, rounds + 1))
         top_network, top_planner = network, planner
 
@@ -166,6 +182,26 @@ def test_city_scale_round_beats_legacy_1k(benchmark):
             graph = top_network.adjacency(adhoc_only=True)
             for current, following in zip(hier, hier[1:]):
                 assert following in graph[current]
+
+    # Untimed replay: meter every path query of the largest world into a
+    # capped histogram.  Well over MAX_RETAINED observations go in; the
+    # decimated reservoir must keep the exact count/sum while retaining
+    # at most the cap (plus fresh post-compaction arrivals).
+    path_seconds = registry.histogram("macro.path_seconds")
+    pairs = _script(top_size, 1)[0][1]
+    for _replay in range(3 * MAX_RETAINED // PATHS_PER_ROUND + 1):
+        for source_id, target_id in pairs:
+            started = perf_counter()
+            top_planner.path(source_id, target_id)
+            path_seconds.observe(perf_counter() - started)
+    assert path_seconds.observed > MAX_RETAINED
+    assert path_seconds.count == path_seconds.observed, (
+        "decimation lost the histogram's exact observation count"
+    )
+    assert path_seconds.retained <= MAX_RETAINED, (
+        f"cap ignored: retained {path_seconds.retained} samples "
+        f"(max_samples={MAX_RETAINED})"
+    )
 
     lines = [
         f"city-scale routing ({rounds} rounds, {MOVERS_PER_ROUND} movers, "
@@ -197,6 +233,11 @@ def test_city_scale_round_beats_legacy_1k(benchmark):
         "routing.hier.corridor": float(top_planner.stats["corridor"]),
         "routing.hier.cell_corridor": float(top_planner.stats["cell_corridor"]),
         "routing.hier.flat_fallback": float(top_planner.stats["flat_fallback"]),
+        # Decimated reservoir bookkeeping (neutral directions): exact
+        # observation count vs. samples actually held under the cap.
+        "macro.path_seconds.observed": float(path_seconds.observed),
+        "macro.path_seconds.retained": float(path_seconds.retained),
+        "obs.labels.series": registry.counter("obs.labels.series").value,
     }
     for size, seconds in curve.items():
         metrics[f"hier_round_seconds_{size}"] = seconds

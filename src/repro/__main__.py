@@ -14,7 +14,10 @@ Commands:
 * ``trace``   — causal trace analytics on a report's spans: ``summary``
   (per-paradigm latency attribution), ``critical-path`` (the chain of
   spans that bounds each slow invocation), ``slowest`` (ranked table),
-  and ``export --format chrome`` (Perfetto / chrome://tracing JSON).
+  and ``export --format chrome`` (Perfetto / chrome://tracing JSON);
+* ``health``  — render a report's fleet-health section (per-node SLO
+  states, breach timeline, flight-recorder dumps); ``--strict`` exits
+  1 when any node breached a critical threshold (the chaos CI gate).
 """
 
 from __future__ import annotations
@@ -292,6 +295,107 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_health(args: argparse.Namespace) -> int:
+    from repro.obs import ReportSchemaError, RunReport
+
+    path = _find_report(args.name)
+    if path is None:
+        print(
+            f"error: no report named {args.name!r} — not a file, and not "
+            "found under benchmarks/results/ (run a benchmark with SLOs "
+            "armed first, e.g. pytest benchmarks/bench_chaos.py --quick)",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        report = RunReport.load_checked(path)
+    except ReportSchemaError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    health = report.health
+    if not health:
+        print(
+            f"report {report.name!r} carries no health section — either "
+            "the run was not armed (World.enable_health / run_chaos "
+            "slos=...) or no SLO ever left 'ok'."
+        )
+        return 0
+
+    states = health.get("states", {})
+    events = health.get("events", [])
+    verdicts = health.get("verdicts", {})
+    slos = health.get("slos", [])
+    flight = report.flight or {}
+
+    print(f"fleet health — {report.name}")
+    print(
+        f"  {len(slos)} slo(s), {health.get('evaluations', 0)} sweeps, "
+        f"{len(events)} transition(s)"
+        + (
+            f" ({health.get('dropped_events', 0)} dropped)"
+            if health.get("dropped_events")
+            else ""
+        )
+    )
+
+    if states:
+        print("\n  node states (worst across slos):")
+        width = max(len(node) for node in states)
+        for node in sorted(states):
+            marker = {"ok": " ", "degraded": "~", "critical": "!"}.get(
+                states[node], "?"
+            )
+            print(f"    {marker} {node:<{width}}  {states[node]}")
+
+    if verdicts:
+        print("\n  verdicts (slo -> node -> final level):")
+        for slo_name in sorted(verdicts):
+            nodes = verdicts[slo_name]
+            parts = ", ".join(
+                f"{node}={nodes[node]}" for node in sorted(nodes)
+            )
+            print(f"    {slo_name}: {parts}")
+
+    if events:
+        shown = events[: args.top]
+        print(f"\n  breach timeline (first {len(shown)} of {len(events)}):")
+        for event in shown:
+            print(
+                f"    t={event['time']:<8g} {event['node']:<12} "
+                f"{event['slo']:<16} {event['from']} -> {event['to']} "
+                f"(value={event['value']:g})"
+            )
+
+    if flight:
+        print(f"\n  flight-recorder dumps ({len(flight)} node(s)):")
+        for node in sorted(flight):
+            dump = flight[node]
+            print(
+                f"    {node}: captured t={dump.get('time')} on "
+                f"slo={dump.get('slo')} -> {dump.get('level')}; "
+                f"{len(dump.get('events', []))} event(s), "
+                f"{len(dump.get('faults', []))} fault(s)"
+            )
+
+    if args.strict:
+        critical_states = sorted(
+            node for node, level in states.items() if level == "critical"
+        )
+        critical_events = [
+            event for event in events if event.get("to") == "critical"
+        ]
+        if critical_states or critical_events:
+            print(
+                "strict: critical breach — "
+                f"{len(critical_events)} critical transition(s), "
+                f"nodes ending critical: {critical_states or 'none'}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -457,6 +561,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="write to this path instead of stdout",
     )
     _trace_common(trace_export)
+
+    health_cmd = subparsers.add_parser(
+        "health",
+        help="fleet-health verdicts from a run report's SLO monitors",
+        description=(
+            "Render the per-node SLO states, breach timeline, and "
+            "flight-recorder dumps captured by an armed run "
+            "(World.enable_health / run_chaos slos=...).  Reports "
+            "resolve like 'repro report': a path, or a name under "
+            "benchmarks/results/.  Exit codes: 0 healthy or merely "
+            "degraded, 1 unreadable report or (--strict) any critical "
+            "breach."
+        ),
+    )
+    health_cmd.add_argument("name", help="report name or path")
+    health_cmd.add_argument(
+        "--top",
+        type=int,
+        default=20,
+        help="breach-timeline rows to show (default 20)",
+    )
+    health_cmd.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when any critical transition occurred or any node "
+        "ends the run at the critical level",
+    )
+    health_cmd.set_defaults(handler=_cmd_health)
     return parser
 
 

@@ -89,6 +89,35 @@ class MobileHost:
         self.context = ContextRegistry(now=lambda: self.env.now)
         self.unhandled_messages = 0
         self.rejected_capsules = 0
+        # Per-node labeled children of the host metric families, cached
+        # once: each update lands on the ``{node=...}`` series *and*
+        # forwards to the flat family total, so fleet-wide figures stay
+        # identical while health monitors see individual hosts.
+        metrics = world.metrics
+        labels = {"node": node.id}
+        self._m_request_rtt = metrics.histogram("host.request_rtt", labels=labels)
+        self._m_request_timeouts = metrics.counter(
+            "host.request_timeouts", labels=labels
+        )
+        self._m_stale_replies = metrics.counter(
+            "host.stale_replies", labels=labels
+        )
+        self._m_corrupt_discarded = metrics.counter(
+            "host.corrupt_discarded", labels=labels
+        )
+        self._m_unhandled = metrics.counter("host.unhandled", labels=labels)
+        self._m_handler_errors = metrics.counter(
+            "host.handler_errors", labels=labels
+        )
+        self._m_verifications = metrics.counter(
+            "security.verifications", labels=labels
+        )
+        self._m_verify_seconds = metrics.histogram(
+            "security.verify_seconds", labels=labels
+        )
+        self._m_rejections = metrics.counter(
+            "security.rejections", labels=labels
+        )
         self._dispatcher = self.env.process(
             self._dispatch_loop(), name=f"dispatch:{node.id}"
         )
@@ -239,12 +268,10 @@ class MobileHost:
         fired = yield self.env.any_of([reply_event, timeout_event])
         self._close_request(message)
         if reply_event in fired:
-            self.world.metrics.histogram("host.request_rtt").observe(
-                self.env.now - started
-            )
+            self._m_request_rtt.observe(self.env.now - started)
             tracer.finish(span)
             return reply_event.value
-        self.world.metrics.counter("host.request_timeouts").increment()
+        self._m_request_timeouts.increment()
         tracer.finish(span, status="error", error="RequestTimeout")
         raise RequestTimeout(
             f"{self.id}: no reply to {message.kind} #{message.id} from "
@@ -269,7 +296,7 @@ class MobileHost:
         """Count and trace a reply to an already-closed request."""
         request_kind = self._closed_requests[message.in_reply_to]
         metrics = self.world.metrics
-        metrics.counter("host.stale_replies").increment()
+        self._m_stale_replies.increment()
         # Attribute the drop to the paradigm whose exchange it was,
         # when the request kind's prefix names an installed paradigm
         # component ("cs.request" -> paradigm "cs", ...).
@@ -277,7 +304,10 @@ class MobileHost:
         component = self.components.get(prefix)
         paradigm = getattr(component, "paradigm", None)
         if paradigm:
-            metrics.counter(f"paradigm.{paradigm}.stale_replies").increment()
+            metrics.counter(
+                f"paradigm.{paradigm}.stale_replies",
+                labels={"node": self.id},
+            ).increment()
         self.world.trace.emit(
             self.env.now,
             self.id,
@@ -354,10 +384,8 @@ class MobileHost:
         if self.policy.require_signatures:
             principal = verify_capsule(self.truststore, capsule)
             delay = capsule_verification_delay(capsule)
-            self.world.metrics.counter("security.verifications").increment()
-            self.world.metrics.histogram("security.verify_seconds").observe(
-                delay
-            )
+            self._m_verifications.increment()
+            self._m_verify_seconds.observe(delay)
             yield from self.execute(
                 delay * WORK_UNITS_PER_SECOND
             )
@@ -374,7 +402,7 @@ class MobileHost:
             if message.corrupted:
                 # Checksum model: damaged payloads are detected and
                 # dropped at the receiver, whatever their kind.
-                self.world.metrics.counter("host.corrupt_discarded").increment()
+                self._m_corrupt_discarded.increment()
                 self.world.trace.emit(
                     self.env.now, self.id, "host.corrupt_discarded",
                     msg=message.kind,
@@ -414,7 +442,7 @@ class MobileHost:
             handler = self._handlers.get(message.kind)
             if handler is None:
                 self.unhandled_messages += 1
-                self.world.metrics.counter("host.unhandled").increment()
+                self._m_unhandled.increment()
                 self.world.trace.emit(
                     self.env.now, self.id, "host.unhandled", msg=message.kind
                 )
@@ -442,7 +470,7 @@ class MobileHost:
             yield from handler(message)
         except SecurityError as error:
             self.rejected_capsules += 1
-            self.world.metrics.counter("security.rejections").increment()
+            self._m_rejections.increment()
             self.world.trace.emit(
                 self.env.now,
                 self.id,
@@ -453,7 +481,7 @@ class MobileHost:
             if span is not None:
                 tracer.finish(span, status="error", error=str(error))
         except MiddlewareError as error:
-            self.world.metrics.counter("host.handler_errors").increment()
+            self._m_handler_errors.increment()
             self.world.trace.emit(
                 self.env.now,
                 self.id,

@@ -191,6 +191,10 @@ class InvocationPipeline:
     def __init__(self, component: Component, paradigm: str) -> None:
         self.component = component
         self.paradigm = paradigm
+        #: Cached per-node labeled children of the uniform counters,
+        #: keyed by metric name (one host per pipeline, so the node
+        #: label never varies after attach).
+        self._label_cache: Dict[str, object] = {}
 
     # -- plumbing ---------------------------------------------------------------
 
@@ -201,22 +205,47 @@ class InvocationPipeline:
     def metric_name(self, name: str) -> str:
         return f"paradigm.{self.paradigm}.{name}"
 
+    def _counter(self, full_name: str):
+        counter = self._label_cache.get(full_name)
+        if counter is None:
+            host = self.host
+            counter = self._label_cache[full_name] = (
+                host.world.metrics.counter(
+                    full_name, labels={"node": host.id}
+                )
+            )
+        return counter
+
     def bump(
         self, name: str, amount: float = 1, alias: Optional[str] = None
     ) -> None:
-        """Increment a uniform counter (and its deprecated alias)."""
-        metrics = self.host.world.metrics
-        metrics.counter(self.metric_name(name)).increment(amount)
+        """Increment a uniform counter (and its deprecated alias).
+
+        The canonical counter is the per-node labeled child — it
+        forwards to the flat ``paradigm.<kind>.*`` total, so the
+        fleet-wide figure is untouched while health monitors can tell
+        which host is burning retries.  Aliases stay flat: they are
+        deprecated names kept only for old dashboards.
+        """
+        self._counter(self.metric_name(name)).increment(amount)
         if alias:
-            metrics.counter(alias).increment(amount)
+            self.host.world.metrics.counter(alias).increment(amount)
 
     def observe_seconds(
         self, seconds: float, alias: Optional[str] = None
     ) -> None:
-        metrics = self.host.world.metrics
-        metrics.histogram(self.metric_name("seconds")).observe(seconds)
+        name = self.metric_name("seconds")
+        histogram = self._label_cache.get(name)
+        if histogram is None:
+            host = self.host
+            histogram = self._label_cache[name] = (
+                host.world.metrics.histogram(
+                    name, labels={"node": host.id}
+                )
+            )
+        histogram.observe(seconds)
         if alias:
-            metrics.histogram(alias).observe(seconds)
+            self.host.world.metrics.histogram(alias).observe(seconds)
 
     # -- server side ------------------------------------------------------------
 

@@ -57,6 +57,10 @@ class World:
         #: Optional cadence sampler (see :meth:`sample_series`); when
         #: set, ``RunReport.capture`` emits its points as ``series``.
         self.timeseries: _Optional[TimeSeriesRecorder] = None
+        #: Optional in-run SLO monitor (see :meth:`enable_health`);
+        #: when set, ``RunReport.capture`` emits its breach events and
+        #: flight-recorder dumps as ``health``/``flight``.
+        self.health = None
 
     def profile(self) -> SimProfiler:
         """Attach (and return) a fresh kernel profiler for this world."""
@@ -92,6 +96,39 @@ class World:
         )
         self.timeseries = recorder.attach(self.env)
         return recorder
+
+    def enable_health(
+        self,
+        slos,
+        cadence: float = 5.0,
+        capacity: int = 256,
+        flight_capacity: int = 64,
+    ):
+        """Arm in-run fleet health monitoring for this world.
+
+        Attaches a :meth:`sample_series` recorder when none exists (the
+        :class:`~repro.obs.health.HealthEngine` evaluates on its
+        cadence), plugs a :class:`~repro.obs.health.FlightRecorder`
+        into the trace log, and returns the engine.  An armed engine
+        whose SLOs never breach changes nothing observable: metric
+        values, spans, and the captured report stay bit-identical to a
+        run with the same recorder and no engine.
+        """
+        from ..obs.health import FlightRecorder, HealthEngine
+
+        if self.health is not None:
+            raise RuntimeError("world already has a health engine")
+        recorder = self.timeseries
+        if recorder is None:
+            recorder = self.sample_series(cadence=cadence, capacity=capacity)
+        flight = FlightRecorder(capacity=flight_capacity)
+        self.trace.flight = flight
+        engine = HealthEngine(
+            self.metrics, slos, tracer=self.tracer, flight=flight
+        )
+        recorder.health = engine
+        self.health = engine
+        return engine
 
     @property
     def now(self) -> float:

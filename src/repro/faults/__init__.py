@@ -15,6 +15,7 @@ from .chaos import (
     chaos_task,
     run_chaos,
     standard_plan,
+    standard_slos,
     verify_agent_reroute,
     verify_discovery_recovery,
     verify_local_degradation,
@@ -42,6 +43,7 @@ __all__ = [
     "inject",
     "run_chaos",
     "standard_plan",
+    "standard_slos",
     "verify_agent_reroute",
     "verify_discovery_recovery",
     "verify_local_degradation",

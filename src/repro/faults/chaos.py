@@ -117,6 +117,62 @@ def build_fleet(
     return client_hosts, server_hosts
 
 
+def standard_slos():
+    """The chaos invariants as checked-in per-node SLOs.
+
+    The four monitors mirror the ``verify_*`` invariants but run *in
+    flight* on every node: under the standard plan a healthy stack
+    dips to ``degraded`` while fault windows are open (the breach
+    events prove the monitors see the faults bite) and recovers —
+    ``critical`` levels mean the middleware failed to converge, which
+    is exactly what ``repro health --strict`` exits non-zero on.
+    """
+    from ..obs.health import SloSpec
+
+    return (
+        SloSpec(
+            name="completion",
+            numerator="chaos.completed",
+            denominator="chaos.requests_done",
+            window_s=None,
+            degraded=0.995,
+            critical=0.4,
+            comparison="below",
+            min_denominator=3.0,
+            description="cumulative per-client completion ratio",
+        ),
+        SloSpec(
+            name="stale_replies",
+            numerator="host.stale_replies",
+            window_s=30.0,
+            degraded=0.0,
+            critical=12.0,
+            comparison="above",
+            description="late/duplicate replies discarded in the window",
+        ),
+        SloSpec(
+            name="retry_burn",
+            numerator="paradigm.cs.retries",
+            denominator="paradigm.cs.calls",
+            window_s=60.0,
+            degraded=2.0,
+            critical=6.0,
+            comparison="above",
+            min_denominator=2.0,
+            description="link retries per call in the window",
+        ),
+        SloSpec(
+            name="reachability",
+            numerator="net.unreachable",
+            window_s=30.0,
+            degraded=0.0,
+            critical=40.0,
+            comparison="above",
+            description="sends that found no link in the window",
+        ),
+    )
+
+
 def standard_plan(
     clients: int = 4, servers: int = 2, scale: float = 1.0
 ) -> FaultPlan:
@@ -179,6 +235,13 @@ def _client_driver(
 ) -> Generator:
     """One client's request loop with an application retry budget."""
     metrics = world.metrics
+    # Per-client labeled children: each tally lands on the
+    # ``{node=...}`` series and forwards to the flat chaos.* totals.
+    labels = {"node": client.id}
+    app_retries = metrics.counter("chaos.app_retries", labels=labels)
+    completed = metrics.counter("chaos.completed", labels=labels)
+    failed = metrics.counter("chaos.failed", labels=labels)
+    requests_done = metrics.counter("chaos.requests_done", labels=labels)
     cs = client.components["cs"]
     for sequence in range(requests):
         yield world.env.timeout(spacing_s)
@@ -197,9 +260,12 @@ def _client_driver(
                 break
             except ReproError:
                 if attempt + 1 < APP_ATTEMPTS:
-                    metrics.counter("chaos.app_retries").increment()
+                    app_retries.increment()
                     yield world.env.timeout(APP_BACKOFF_S * (attempt + 1))
-        metrics.counter("chaos.completed" if done else "chaos.failed").increment()
+        (completed if done else failed).increment()
+        # Denominator of the per-node completion SLO: settled requests,
+        # so in-flight work never reads as failure mid-run.
+        requests_done.increment()
 
 
 def run_chaos(
@@ -211,6 +277,8 @@ def run_chaos(
     plan: Optional[FaultPlan] = None,
     trace_enabled: bool = False,
     spans_enabled: Optional[bool] = None,
+    slos=None,
+    sample_cadence: Optional[float] = None,
 ) -> ChaosOutcome:
     """Drive the echo workload under ``plan`` (default
     :func:`standard_plan`); returns a :class:`ChaosOutcome`.
@@ -218,10 +286,21 @@ def run_chaos(
     ``spans_enabled`` follows ``trace_enabled`` unless set explicitly
     (pass ``True`` to capture causal spans — and the ``trace.*``
     analytics derived from them — without the event trace log).
+    ``slos`` arms the in-run health engine (e.g.
+    :func:`standard_slos`); ``sample_cadence`` attaches the sim-time
+    sampler on its own — what the armed-vs-unarmed bit-identity test
+    compares against.
     """
     world = World(
         seed=seed, trace_enabled=trace_enabled, spans_enabled=spans_enabled
     )
+    if sample_cadence is not None:
+        world.sample_series(cadence=sample_cadence)
+    if slos is not None:
+        world.enable_health(
+            slos,
+            cadence=5.0 if sample_cadence is None else sample_cadence,
+        )
     task = chaos_task()
     client_hosts, server_hosts = build_fleet(
         world, clients=clients, servers=servers, task=task

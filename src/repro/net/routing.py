@@ -83,10 +83,19 @@ class RoutingTable:
         self._members: Dict[str, FrozenSet[str]] = {}
         self.stats = {"hits": 0, "misses": 0, "repairs": 0, "flushes": 0}
 
-    def _count(self, key: str, amount: int = 1) -> None:
+    def _count(
+        self, key: str, amount: int = 1, node: Optional[str] = None
+    ) -> None:
         self.stats[key] += amount
         if self.metrics is not None:
-            self.metrics.counter(f"routing.tree_{key}").increment(amount)
+            # The labeled child forwards to the flat family total, so
+            # only one of the two is incremented per event.
+            if node is None:
+                self.metrics.counter(f"routing.tree_{key}").increment(amount)
+            else:
+                self.metrics.counter(
+                    f"routing.tree_{key}", labels={"node": node}
+                ).increment(amount)
 
     def _flush(self) -> None:
         if self._trees:
@@ -142,9 +151,9 @@ class RoutingTable:
         self._sync()
         tree = self._trees.get(source_id)
         if tree is not None:
-            self._count("hits")
+            self._count("hits", node=source_id)
             return tree
-        self._count("misses")
+        self._count("misses", node=source_id)
         view = self.network.adjacency(adhoc_only=self.adhoc_only)
         tree = bfs_tree(view, source_id)
         self._trees[source_id] = tree
@@ -240,10 +249,17 @@ class HierarchicalRouter:
             "flat_fallback": 0,
         }
 
-    def _count(self, key: str) -> None:
+    def _count(self, key: str, node: Optional[str] = None) -> None:
         self.stats[key] += 1
         if self.metrics is not None:
-            self.metrics.counter(f"routing.hier.{key}").increment()
+            # The labeled child forwards to the flat family total, so
+            # only one of the two is incremented per event.
+            if node is None:
+                self.metrics.counter(f"routing.hier.{key}").increment()
+            else:
+                self.metrics.counter(
+                    f"routing.hier.{key}", labels={"node": node}
+                ).increment()
 
     # -- coarse layer maintenance --------------------------------------------
 
@@ -471,7 +487,7 @@ class HierarchicalRouter:
         if source_id == target_id:
             return [source_id]
         if len(network) < self.flat_threshold or not self.adhoc_only:
-            self._count("flat")
+            self._count("flat", node=source_id)
             return self.table.path(source_id, target_id)
         source = network.nodes.get(source_id)
         target = network.nodes.get(target_id)
@@ -481,10 +497,10 @@ class HierarchicalRouter:
         self._sync()
         cached = self._paths.get((source_id, target_id))
         if cached is not None:
-            self._count("hits")
+            self._count("hits", node=source_id)
             path, _cells = cached
             return list(path) if path is not None else None
-        self._count("misses")
+        self._count("misses", node=source_id)
         grid = network.grid
         s_cell = grid.cell_of(grid.position_of(source_id))
         t_cell = grid.cell_of(grid.position_of(target_id))
@@ -501,16 +517,16 @@ class HierarchicalRouter:
         )
         if path is not None:
             # The hop limit IS the stretch bound, so no re-check needed.
-            self._count("greedy")
+            self._count("greedy", node=source_id)
             return self._remember(source_id, target_id, path)
         path = self._restricted_bfs(source_id, target_id, corridor)
         if path is not None and self._within_stretch(path, cell_distance):
-            self._count("corridor")
+            self._count("corridor", node=source_id)
             return self._remember(source_id, target_id, path)
         cell_path = self._cell_path(s_cell, t_cell)
         if cell_path is None:
             # Exact: every node path induces an occupied-cell path.
-            self._count("cell_unreachable")
+            self._count("cell_unreachable", node=source_id)
             return self._remember(source_id, target_id, None)
         if len(cell_path) > 1:
             detour = self._restricted_bfs(
@@ -519,11 +535,11 @@ class HierarchicalRouter:
             if detour is not None and self._within_stretch(
                 detour, cell_distance
             ):
-                self._count("cell_corridor")
+                self._count("cell_corridor", node=source_id)
                 return self._remember(source_id, target_id, detour)
         # Sparse/maze-like world: pay one flat BFS, get the exact answer
         # (and the optimal path, so the stretch bound holds trivially).
-        self._count("flat_fallback")
+        self._count("flat_fallback", node=source_id)
         path = self.table.path(source_id, target_id)
         return self._remember(source_id, target_id, path)
 

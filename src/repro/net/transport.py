@@ -54,6 +54,28 @@ class Transport:
         #: after it.  ``None`` keeps the pre-fault behaviour and RNG
         #: draw order bit-identical.
         self.faults: Optional[object] = None
+        #: (family, node id) -> labeled child; transports touch many
+        #: nodes, so the per-site attribute caching hosts use is
+        #: replaced by one shared lookup table.
+        self._label_cache: dict = {}
+
+    def _node_counter(self, name: str, node_id: str):
+        key = (name, node_id)
+        counter = self._label_cache.get(key)
+        if counter is None:
+            counter = self._label_cache[key] = self.metrics.counter(
+                name, labels={"node": node_id}
+            )
+        return counter
+
+    def _node_histogram(self, name: str, node_id: str):
+        key = (name, node_id)
+        histogram = self._label_cache.get(key)
+        if histogram is None:
+            histogram = self._label_cache[key] = self.metrics.histogram(
+                name, labels={"node": node_id}
+            )
+        return histogram
 
     # -- public sends ---------------------------------------------------------
 
@@ -120,6 +142,7 @@ class Transport:
             message.created_at = self.env.now
         link = self._pick_link(source, destination, policy)
         if link is None:
+            self._node_counter("net.unreachable", source.id).increment()
             self.trace.emit(
                 self.env.now, source.id, "net.unreachable", to=destination.id
             )
@@ -172,7 +195,9 @@ class Transport:
         source.costs.account_transfer(
             link.sender_technology, message.wire_size, sent=True
         )
-        self.metrics.counter("net.bytes_sent").increment(message.wire_size)
+        self._node_counter("net.bytes_sent", source.id).increment(
+            message.wire_size
+        )
         # Propagation; connectivity may have broken while transmitting.
         yield self.env.timeout(link.latency_s)
         still_connected = (
@@ -185,7 +210,7 @@ class Transport:
             lost = True
             reason = "fault"
         if not destination.up or not still_connected or lost:
-            self.metrics.counter("net.messages_lost").increment()
+            self._node_counter("net.messages_lost", destination.id).increment()
             self.trace.emit(
                 self.env.now,
                 source.id,
@@ -201,10 +226,12 @@ class Transport:
         )
         message.via = link.name
         message.hops += 1
-        self.metrics.counter("net.messages_delivered").increment()
-        self.metrics.histogram("net.delivery_latency").observe(
-            self.env.now - message.created_at
-        )
+        self._node_counter(
+            "net.messages_delivered", destination.id
+        ).increment()
+        self._node_histogram(
+            "net.delivery_latency", destination.id
+        ).observe(self.env.now - message.created_at)
         self.trace.emit(
             self.env.now,
             source.id,
@@ -240,6 +267,9 @@ class Transport:
             link = self._pick_link(source, destination, policy)
             if link is None:
                 if attempt == 1:
+                    self._node_counter(
+                        "net.unreachable", source.id
+                    ).increment()
                     raise Unreachable(
                         f"{source.id} cannot reach {destination.id}"
                     )
@@ -263,12 +293,14 @@ class Transport:
                 )
             source.costs.account_transfer(link.sender_technology, ACK_BYTES, sent=False)
             if delivered:
-                self.metrics.histogram("net.attempts_used").observe(
-                    float(attempt)
-                )
+                self._node_histogram(
+                    "net.attempts_used", destination.id
+                ).observe(float(attempt))
                 return attempt
             if attempt < max_attempts:
-                self.metrics.counter("net.retransmissions").increment()
+                self._node_counter(
+                    "net.retransmissions", destination.id
+                ).increment()
         raise TransportTimeout(
             f"message #{message.id} to {destination.id} lost "
             f"{max_attempts} times"
@@ -337,8 +369,8 @@ class Transport:
                     message.delivered_at = self.env.now
                 yield neighbor.inbox.put(message)
                 received.append(neighbor.id)
-        self.metrics.counter("net.broadcasts").increment()
-        self.metrics.histogram("net.broadcast_reach").observe(
+        self._node_counter("net.broadcasts", source.id).increment()
+        self._node_histogram("net.broadcast_reach", source.id).observe(
             float(len(received))
         )
         self.trace.emit(

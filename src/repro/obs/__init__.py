@@ -18,7 +18,11 @@ first-class subsystem:
   compare``, the benchmark regression gate);
 * :mod:`repro.obs.trace`     — causal trace analytics over a report's
   spans: DAG reconstruction, per-hop latency attribution, critical
-  paths, and Chrome/Perfetto export (``python -m repro trace``).
+  paths, and Chrome/Perfetto export (``python -m repro trace``);
+* :mod:`repro.obs.health`    — in-run fleet health: per-node
+  :class:`SloSpec` monitors evaluated on the sampling cadence
+  (:class:`HealthEngine`) and a breach-triggered
+  :class:`FlightRecorder` (``python -m repro health``).
 
 See ``docs/OBSERVABILITY.md`` for the span model and the
 ``subsystem.metric`` naming scheme.
@@ -27,6 +31,7 @@ See ``docs/OBSERVABILITY.md`` for the span model and the
 from .exporters import (
     metrics_to_prometheus,
     parse_prometheus,
+    samples_to_exposition,
     sanitize_metric_name,
     spans_from_jsonl,
     spans_to_jsonl,
@@ -41,6 +46,13 @@ from .diff import (
     diff_report_files,
     diff_reports,
     direction_of,
+)
+from .health import (
+    FlightRecorder,
+    HealthEngine,
+    LEVELS,
+    SloSpec,
+    worst_level,
 )
 from .profiler import SimProfiler
 from .report import ReportSchemaError, RunReport, SCHEMA_KEYS, SCHEMA_VERSION
@@ -65,10 +77,14 @@ from .spans import (
 __all__ = [
     "BUCKETS",
     "DEFAULT_DIRECTIONS",
+    "FlightRecorder",
+    "HealthEngine",
     "INVOCATION_OPS",
     "InvocationBreakdown",
+    "LEVELS",
     "MetricDelta",
     "NOOP_SPAN",
+    "SloSpec",
     "ReportDiff",
     "ReportSchemaError",
     "RunReport",
@@ -89,10 +105,12 @@ __all__ = [
     "direction_of",
     "metrics_to_prometheus",
     "parse_prometheus",
+    "samples_to_exposition",
     "sanitize_metric_name",
     "spans_from_jsonl",
     "spans_to_jsonl",
     "trace_from_jsonl",
     "trace_to_jsonl",
+    "worst_level",
     "write_text",
 ]

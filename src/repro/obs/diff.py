@@ -52,6 +52,15 @@ DEFAULT_DIRECTIONS: Tuple[Tuple[str, Optional[str]], ...] = (
     # faults.extra_latency); ditto the checksum discards they force.
     ("faults.*", None),
     ("*corrupt_discarded*", None),
+    # Fleet health (repro.obs.health): breach tallies should shrink;
+    # per-node labeled series and the label-cardinality bookkeeping
+    # are scenario shape.  The family precedes the generic rules so a
+    # labeled ``health.breaches{node="x"}`` never matches e.g.
+    # ``*reach*``-style patterns added later.
+    ("health.breaches*", "lower"),
+    ("health.critical_breaches*", "lower"),
+    ("health.*", None),
+    ("obs.labels.*", None),
     # Trace analytics (repro.obs.trace): the critical path and the
     # shares of time lost to queueing/transit stalls/retries should
     # shrink; the raw span/tree/invocation tallies are scenario shape.

@@ -15,9 +15,14 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Dict, Iterable, List
+import re
+from typing import Dict, Iterable, List, Mapping, Tuple
 
-from ..sim.metrics import MetricsRegistry
+from ..sim.metrics import (
+    MetricsRegistry,
+    escape_label_value,
+    unescape_label_value,
+)
 from ..sim.tracing import TraceLog, TraceRecord
 from .spans import Span
 
@@ -116,6 +121,45 @@ def _format_sample(value: float) -> str:
     return repr(float(value))
 
 
+#: A parsed sample key: (sample name, sorted (label, value) pairs).
+SampleKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    # Label values are quoted with backslash escapes, so a bare "}" (or
+    # "{", or a comma) inside a value must not terminate the label set.
+    r'(?:\{(?P<labels>(?:[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*",?)*)\})?'
+    r"\s+(?P<value>\S+)$"
+)
+_PROM_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _label_suffix(labels: Mapping[str, str]) -> str:
+    """``{"node": "a"}`` → ``{node="a"}`` (sorted, escaped); "" if empty."""
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{escape_label_value(str(labels[key]))}"'
+        for key in sorted(labels)
+    )
+    return "{" + inner + "}"
+
+
+def _split_family(items):
+    """Partition a metric store into (flat parents, children-by-family)."""
+    parents = []
+    children: Dict[str, list] = {}
+    for name, metric in items:
+        labels = getattr(metric, "labels", None)
+        if labels:
+            children.setdefault(metric._parent.name, []).append(metric)
+        else:
+            parents.append((name, metric))
+    for family in children.values():
+        family.sort(key=lambda child: sorted(child.labels.items()))
+    return sorted(parents), children
+
+
 def metrics_to_prometheus(
     registry: MetricsRegistry, prefix: str = "repro"
 ) -> str:
@@ -123,7 +167,9 @@ def metrics_to_prometheus(
 
     Counters and gauges become single samples; histograms expose
     ``_count``/``_sum`` plus ``quantile``-labelled samples; time series
-    export their last value.
+    export their last value.  Labeled children follow their family's
+    flat total as real ``{node="..."}``-labelled samples under the same
+    metric name, so dashboards aggregate and slice them natively.
     """
     lines: List[str] = []
 
@@ -131,31 +177,54 @@ def metrics_to_prometheus(
         lines.append(f"# TYPE {name} {kind}")
         lines.extend(samples)
 
-    for name, counter in sorted(registry._counters.items()):
+    parents, children = _split_family(registry._counters.items())
+    for name, counter in parents:
         metric = f"{prefix}_{sanitize_metric_name(name)}"
-        emit(metric, "counter", [f"{metric} {_format_sample(counter.value)}"])
-    for name, gauge in sorted(registry._gauges.items()):
-        metric = f"{prefix}_{sanitize_metric_name(name)}"
-        emit(
-            metric,
-            "gauge",
-            [
-                f"{metric} {_format_sample(gauge.value)}",
-                f"{metric}_min {_format_sample(gauge.min)}",
-                f"{metric}_max {_format_sample(gauge.max)}",
-            ],
-        )
-    for name, histogram in sorted(registry._histograms.items()):
-        metric = f"{prefix}_{sanitize_metric_name(name)}"
-        samples = [
-            f"{metric}_count {_format_sample(float(histogram.count))}",
-            f"{metric}_sum {_format_sample(histogram.total)}",
-        ]
-        for quantile in (0.5, 0.95, 0.99):
+        samples = [f"{metric} {_format_sample(counter.value)}"]
+        for child in children.get(name, ()):
             samples.append(
-                f'{metric}{{quantile="{quantile}"}} '
-                f"{_format_sample(histogram.quantile(quantile))}"
+                f"{metric}{_label_suffix(child.labels)} "
+                f"{_format_sample(child.value)}"
             )
+        emit(metric, "counter", samples)
+    parents, children = _split_family(registry._gauges.items())
+    for name, gauge in parents:
+        metric = f"{prefix}_{sanitize_metric_name(name)}"
+        family = [(gauge, "")] + [
+            (child, _label_suffix(child.labels))
+            for child in children.get(name, ())
+        ]
+        samples = []
+        for member, suffix in family:
+            samples.append(f"{metric}{suffix} {_format_sample(member.value)}")
+            samples.append(
+                f"{metric}_min{suffix} {_format_sample(member.min)}"
+            )
+            samples.append(
+                f"{metric}_max{suffix} {_format_sample(member.max)}"
+            )
+        emit(metric, "gauge", samples)
+    parents, children = _split_family(registry._histograms.items())
+    for name, histogram in parents:
+        metric = f"{prefix}_{sanitize_metric_name(name)}"
+        samples = []
+        for member in [histogram] + list(children.get(name, ())):
+            labels = member.labels or {}
+            suffix = _label_suffix(labels)
+            samples.append(
+                f"{metric}_count{suffix} "
+                f"{_format_sample(float(member.count))}"
+            )
+            samples.append(
+                f"{metric}_sum{suffix} {_format_sample(member.total)}"
+            )
+            for quantile in (0.5, 0.95, 0.99):
+                merged = dict(labels)
+                merged["quantile"] = str(quantile)
+                samples.append(
+                    f"{metric}{_label_suffix(merged)} "
+                    f"{_format_sample(member.quantile(quantile))}"
+                )
         emit(metric, "summary", samples)
     for name, series in sorted(registry._series.items()):
         metric = f"{prefix}_{sanitize_metric_name(name)}"
@@ -168,17 +237,47 @@ def metrics_to_prometheus(
     return "\n".join(lines) + ("\n" if lines else "")
 
 
-def parse_prometheus(text: str) -> Dict[str, float]:
-    """Parse exposition text back to ``sample name -> value`` (labels
-    folded into the key), for round-trip tests and quick assertions."""
-    samples: Dict[str, float] = {}
-    for line in text.splitlines():
+def parse_prometheus(text: str) -> Dict[SampleKey, float]:
+    """Parse exposition text back into ``(name, labels) -> value``.
+
+    Keys are ``(sample name, tuple of sorted (label, value) pairs)`` —
+    an unlabeled sample carries the empty tuple — so labeled samples
+    survive a round trip instead of being flattened into opaque
+    strings.  ``samples_to_exposition`` is the inverse.
+    """
+    samples: Dict[SampleKey, float] = {}
+    # Split on real newlines only: str.splitlines() also breaks on
+    # exotic boundaries (\x1c-\x1e,  ...) that may appear *inside*
+    # label values, where only "\n" is ever escaped.
+    for line in text.split("\n"):
         line = line.strip()
         if not line or line.startswith("#"):
             continue
-        name, _, value = line.rpartition(" ")
-        samples[name] = float(value)
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable exposition line: {line!r}")
+        labels = tuple(
+            sorted(
+                (pair.group(1), unescape_label_value(pair.group(2)))
+                for pair in _PROM_LABEL_RE.finditer(
+                    match.group("labels") or ""
+                )
+            )
+        )
+        samples[(match.group("name"), labels)] = float(match.group("value"))
     return samples
+
+
+def samples_to_exposition(samples: Mapping[SampleKey, float]) -> str:
+    """Render :func:`parse_prometheus` output back to sample lines
+    (sorted, no ``# TYPE`` comments — the parser skips those anyway),
+    completing the exposition → parse → exposition round trip."""
+    lines = []
+    for (name, labels), value in sorted(samples.items()):
+        lines.append(
+            f"{name}{_label_suffix(dict(labels))} {_format_sample(value)}"
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 def write_text(path: str, text: str) -> str:

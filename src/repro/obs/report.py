@@ -24,10 +24,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .profiler import SimProfiler
 
 #: Bump on any backwards-incompatible change to the report layout.
-#: v2 added the ``series`` section (sim-time samples from
-#: :class:`~repro.obs.timeseries.TimeSeriesRecorder`); v1 reports load
-#: fine — their ``series`` is simply ``None``.
-SCHEMA_VERSION = 2
+#: v3 added the fleet-health sections: ``nodes`` (per-node rollup of
+#: labeled metrics), ``health`` (SLO specs, states, breach events from
+#: :class:`~repro.obs.health.HealthEngine`), and ``flight``
+#: (flight-recorder dumps captured at breach time).  v2 added the
+#: ``series`` section (sim-time samples from
+#: :class:`~repro.obs.timeseries.TimeSeriesRecorder`).  Older reports
+#: load fine — the sections they predate are simply ``None``.
+SCHEMA_VERSION = 3
 
 #: Top-level keys every report carries, in schema order.
 SCHEMA_KEYS = (
@@ -41,6 +45,9 @@ SCHEMA_KEYS = (
     "profile",
     "spans",
     "series",
+    "nodes",
+    "health",
+    "flight",
 )
 
 
@@ -61,6 +68,9 @@ class RunReport:
         profile: Optional[Dict[str, object]] = None,
         spans: Optional[List[Dict[str, object]]] = None,
         series: Optional[Dict[str, object]] = None,
+        nodes: Optional[Dict[str, Dict[str, float]]] = None,
+        health: Optional[Dict[str, object]] = None,
+        flight: Optional[Dict[str, object]] = None,
         created_at: Optional[float] = None,
         schema: int = SCHEMA_VERSION,
     ) -> None:
@@ -74,6 +84,9 @@ class RunReport:
         self.profile = profile
         self.spans = spans or []
         self.series = series
+        self.nodes = nodes
+        self.health = health
+        self.flight = flight
 
     # -- capture -----------------------------------------------------------
 
@@ -120,6 +133,20 @@ class RunReport:
             from .trace import TraceAnalysis
 
             metrics.update(TraceAnalysis.from_spans(spans).metrics())
+        from ..sim.metrics import rollup_by_label
+
+        nodes = rollup_by_label(metrics) or None
+        engine = getattr(world, "health", None)
+        health = None
+        flight = None
+        if engine is not None:
+            # Quiet engines add nothing: the sections stay None, so an
+            # armed-but-unbreached run's report is bit-identical to an
+            # unarmed one (modulo the rollup, which exists either way).
+            if engine.breached:
+                health = engine.as_dict()
+            if engine.flight_dumps:
+                flight = dict(engine.flight_dumps)
         return cls(
             name=name,
             env=env,
@@ -129,6 +156,9 @@ class RunReport:
             profile=profiler.as_dict() if profiler is not None else None,
             spans=spans,
             series=recorder.as_dict() if recorder is not None else None,
+            nodes=nodes,
+            health=health,
+            flight=flight,
             created_at=created_at,
         )
 
@@ -146,6 +176,9 @@ class RunReport:
             "profile": self.profile,
             "spans": self.spans,
             "series": self.series,
+            "nodes": self.nodes,
+            "health": self.health,
+            "flight": self.flight,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -162,6 +195,9 @@ class RunReport:
             profile=data.get("profile"),  # type: ignore[arg-type]
             spans=list(data.get("spans") or []),  # type: ignore[arg-type]
             series=data.get("series"),  # type: ignore[arg-type]
+            nodes=data.get("nodes"),  # type: ignore[arg-type]
+            health=data.get("health"),  # type: ignore[arg-type]
+            flight=data.get("flight"),  # type: ignore[arg-type]
             created_at=float(data.get("created_at", 0.0)),  # type: ignore[arg-type]
             schema=int(data.get("schema", SCHEMA_VERSION)),  # type: ignore[arg-type]
         )
@@ -200,6 +236,13 @@ class RunReport:
         metrics = data.get("metrics")
         if metrics is not None and not isinstance(metrics, dict):
             raise ReportSchemaError("'metrics' must be an object")
+        for key in ("nodes", "health", "flight"):
+            section = data.get(key)
+            if section is not None and not isinstance(section, dict):
+                raise ReportSchemaError(f"'{key}' must be an object or null")
+        health = data.get("health")
+        if health is not None and not isinstance(health.get("events"), list):
+            raise ReportSchemaError("'health.events' must be a list")
         return data
 
     @classmethod
@@ -304,6 +347,55 @@ class RunReport:
                     f"{self.series.get('samples')} sweeps)",
                     ["series", "points", "last"],
                     series_rows,
+                )
+            )
+        if self.health:
+            states = self.health.get("states") or {}
+            events = self.health.get("events") or []
+            state_rows = [
+                [node, states[node]] for node in sorted(states)
+            ]
+            parts.append(
+                render_table(
+                    f"fleet health ({len(events)} transitions, "
+                    f"{self.health.get('evaluations', 0)} sweeps)",
+                    ["node", "state"],
+                    state_rows,
+                )
+            )
+            event_rows = [
+                [
+                    event.get("time"),
+                    event.get("node"),
+                    event.get("slo"),
+                    f"{event.get('from')}→{event.get('to')}",
+                ]
+                for event in events[:top]
+            ]
+            if event_rows:
+                parts.append(
+                    render_table(
+                        "health transitions (first "
+                        f"{len(event_rows)})",
+                        ["sim time", "node", "slo", "change"],
+                        event_rows,
+                    )
+                )
+        if self.flight:
+            dump_rows = [
+                [
+                    node,
+                    dump.get("slo"),
+                    dump.get("level"),
+                    len(dump.get("events") or []),
+                ]
+                for node, dump in sorted(self.flight.items())
+            ]
+            parts.append(
+                render_table(
+                    "flight-recorder dumps",
+                    ["node", "slo", "level", "events"],
+                    dump_rows,
                 )
             )
         trees = self.span_trees()

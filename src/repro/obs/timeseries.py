@@ -76,11 +76,16 @@ class TimeSeriesRecorder:
             (stat, _parse_stat(stat)) for stat in histogram_stats
         )
         self._series: Dict[str, Deque[Tuple[float, float]]] = {}
-        #: Per-histogram count already consumed by earlier windows.
+        #: Per-histogram observation ordinal already consumed by
+        #: earlier windows (``Histogram.observed``, not a buffer
+        #: index — stable across ``max_samples`` decimation).
         self._consumed: Dict[str, int] = {}
         self._next_due = 0.0
         self._env = None
         self.samples_taken = 0
+        #: Optional :class:`~repro.obs.health.HealthEngine` evaluated
+        #: at the tail of every sweep (same sim-time cadence).
+        self.health = None
 
     # -- kernel attachment ---------------------------------------------------
 
@@ -133,7 +138,7 @@ class TimeSeriesRecorder:
                 continue
             start = self._consumed.get(name, 0)
             window = histogram.samples_since(start)
-            self._consumed[name] = start + len(window)
+            self._consumed[name] = histogram.observed
             record(f"{name}.count", now, float(len(window)))
             if window:
                 ordered = sorted(window)
@@ -148,6 +153,8 @@ class TimeSeriesRecorder:
                 if names is None or name in names:
                     record(name, now, float(value))
         self.samples_taken += 1
+        if self.health is not None:
+            self.health.evaluate(now)
         # Next boundary strictly after ``now``: long event gaps produce
         # one fresh sample, not a backfill burst.
         self._next_due = (math.floor(now / self.cadence) + 1.0) * self.cadence

@@ -51,9 +51,16 @@ class TraceLog:
         self.count_when_disabled = count_when_disabled
         self._records: Deque[TraceRecord] = deque(maxlen=max_records)
         self._kind_counts: Dict[str, int] = {}
+        #: Optional :class:`~repro.obs.health.FlightRecorder` sink fed
+        #: *before* the enabled check, so last-N per-node context is
+        #: captured even on runs that keep tracing off.
+        self.flight = None
 
     def emit(self, time: float, source: str, kind: str, **fields: object) -> None:
         """Record one happening (cheap no-op when disabled)."""
+        flight = self.flight
+        if flight is not None:
+            flight.record(time, source, kind, fields)
         if not self.enabled:
             if self.count_when_disabled:
                 self._kind_counts[kind] = self._kind_counts.get(kind, 0) + 1

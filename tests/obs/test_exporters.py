@@ -79,14 +79,37 @@ class TestPrometheus:
         text = metrics_to_prometheus(registry)
         assert "# TYPE repro_net_messages counter" in text
         samples = parse_prometheus(text)
-        assert samples["repro_net_messages"] == 3.0
-        assert samples["repro_host_neighbors"] == 5.0
-        assert samples["repro_host_neighbors_min"] == 2.0
-        assert samples["repro_host_neighbors_max"] == 5.0
-        assert samples["repro_cs_call_seconds_count"] == 4.0
-        assert samples["repro_cs_call_seconds_sum"] == 10.0
-        assert samples['repro_cs_call_seconds{quantile="0.5"}'] == 2.5
-        assert samples["repro_battery"] == 90.0
+        flat = ()
+        assert samples[("repro_net_messages", flat)] == 3.0
+        assert samples[("repro_host_neighbors", flat)] == 5.0
+        assert samples[("repro_host_neighbors_min", flat)] == 2.0
+        assert samples[("repro_host_neighbors_max", flat)] == 5.0
+        assert samples[("repro_cs_call_seconds_count", flat)] == 4.0
+        assert samples[("repro_cs_call_seconds_sum", flat)] == 10.0
+        key = ("repro_cs_call_seconds", (("quantile", "0.5"),))
+        assert samples[key] == 2.5
+        assert samples[("repro_battery", flat)] == 90.0
+
+    def test_labeled_children_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("net.bytes").increment(7)
+        registry.counter("net.bytes", labels={"node": "a"}).increment(5)
+        registry.counter("net.bytes", labels={"node": "b"}).increment(2)
+        registry.histogram(
+            "net.latency", labels={"node": "a"}
+        ).observe(1.5)
+        text = metrics_to_prometheus(registry)
+        samples = parse_prometheus(text)
+        # The flat total includes forwarded child increments.
+        assert samples[("repro_net_bytes", ())] == 14.0
+        assert samples[("repro_net_bytes", (("node", "a"),))] == 5.0
+        assert samples[("repro_net_bytes", (("node", "b"),))] == 2.0
+        assert samples[("repro_net_latency_count", (("node", "a"),))] == 1.0
+        quantile_key = (
+            "repro_net_latency",
+            (("node", "a"), ("quantile", "0.5")),
+        )
+        assert samples[quantile_key] == 1.5
 
     def test_empty_registry(self):
         assert metrics_to_prometheus(MetricsRegistry()) == ""
@@ -99,4 +122,4 @@ class TestPrometheus:
         with open(path) as handle:
             content = handle.read()
         assert content.endswith("\n")
-        assert parse_prometheus(content)["repro_c"] == 1.0
+        assert parse_prometheus(content)[("repro_c", ())] == 1.0

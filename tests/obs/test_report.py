@@ -42,6 +42,9 @@ class TestSchema:
             "profile",
             "spans",
             "series",
+            "nodes",
+            "health",
+            "flight",
         )
 
     def test_report_dict_matches_schema(self):
