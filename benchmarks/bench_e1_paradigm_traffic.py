@@ -102,8 +102,7 @@ def run_cod(rounds):
     def go():
         yield from device.component("cod").fetch("server", ["task"])
         unit = device.codebase.touch("task")
-        context = device.execution_context(principal=device.id)
-        outcome = device.sandbox.run(unit.instantiate(), context)
+        outcome = device.run_guest(unit.instantiate(), device.id)
         yield from device.execute(outcome.work_used)
 
     run_process(world, go())

@@ -80,8 +80,7 @@ def run_preinstall(quota):
             name = f"codec-{format_name}"
             if name in pda.codebase and "dsp-lib" in pda.codebase:
                 unit = pda.codebase.touch(name)
-                context = pda.execution_context(principal=pda.id)
-                outcome = pda.sandbox.run(unit.instantiate(), context, "t")
+                outcome = pda.run_guest(unit.instantiate(), pda.id, "t")
                 yield from pda.execute(outcome.work_used)
                 successes += 1
 

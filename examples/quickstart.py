@@ -92,8 +92,7 @@ def main():
         # 2. Code On Demand
         yield from phone.component("cod").ensure(["codec-ogg"], "server")
         codec = phone.codebase.touch("codec-ogg")
-        context = phone.execution_context(principal="phone")
-        outcome = phone.sandbox.run(codec.instantiate(), context, "anthem.ogg")
+        outcome = phone.run_guest(codec.instantiate(), "phone", "anthem.ogg")
         yield from phone.execute(outcome.work_used)
         print(f"[COD] t={world.now:7.2f}s  {outcome.value}")
 

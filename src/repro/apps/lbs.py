@@ -120,8 +120,11 @@ class LocationAwareBrowser:
         # Render the downloaded UI locally (the COD payoff), then order.
         if encounter.description.proxy_unit:
             unit = self.host.codebase.touch(encounter.description.proxy_unit)
-            context = self.host.execution_context(principal=self.host.id)
-            result = self.host.sandbox.run(unit.instantiate(), context)
+            result = self.host.run_guest(
+                unit.instantiate(),
+                self.host.id,
+                task_name=encounter.description.proxy_unit,
+            )
             yield from self.host.execute(result.work_used)
         receipt = yield from self.host.component("cs").call(
             provider, f"order:{venue_name}", {"seats": seats}

@@ -120,8 +120,9 @@ class MediaPlayer:
             )
             raise
         codec = self.host.codebase.touch(unit_name)
-        context = self.host.execution_context(principal=self.host.id)
-        result = self.host.sandbox.run(codec.instantiate(), context, track)
+        result = self.host.run_guest(
+            codec.instantiate(), self.host.id, track, task_name=unit_name
+        )
         yield from self.host.execute(result.work_used)
         record = PlaybackRecord(
             format=format_name,

@@ -62,8 +62,7 @@ def run_local(host: MobileHost, work_units: float) -> Generator:
     """Grind the workload on the device itself (generator helper)."""
     started = host.env.now
     unit = crunch_unit(work_units)
-    context = host.execution_context(principal=host.id)
-    outcome = host.sandbox.run(unit.instantiate(), context, 0)
+    outcome = host.run_guest(unit.instantiate(), host.id, 0)
     yield from host.execute(outcome.work_used)
     return OffloadReport(
         where="local", elapsed_s=host.env.now - started, result=outcome.value

@@ -58,6 +58,14 @@ class TaskProfile:
     hosts_to_visit: int = 1
     #: Bytes of agent state carried per hop.
     state_bytes: int = 512
+    #: Work-unit quota the executing side's
+    #: :class:`~repro.security.QuotaGrant` would enforce on this task's
+    #: guest — ``None`` means unknown/unlimited.  A task whose work
+    #: would exceed the quota pays the estimators' quota-pressure
+    #: penalty (it will be preempted and retried/failed there), so the
+    #: selector steers compute towards hosts that grant enough CPU.
+    local_work_quota: Optional[float] = None
+    remote_work_quota: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -113,6 +121,20 @@ class CostWeights:
 _RADIO_J_PER_BYTE = 1.0e-6
 _CPU_J_PER_S = 1.0
 
+#: Seconds of predicted penalty per work unit a task would overrun its
+#: executing side's quota by: the modelled cost of being preempted,
+#: re-negotiated, and re-run elsewhere.  Deliberately steep — a
+#: paradigm whose substrate will kill the guest should essentially
+#: never win the ranking.
+QUOTA_PENALTY_S_PER_UNIT = 1.0e-4
+
+
+def _quota_penalty(required: float, quota: Optional[float]) -> float:
+    """Predicted preemption cost of ``required`` work under ``quota``."""
+    if quota is None or required <= quota:
+        return 0.0
+    return (required - quota) * QUOTA_PENALTY_S_PER_UNIT
+
 
 def _transfer(link: Link, size_bytes: float) -> Tuple[float, float]:
     """(seconds, money) to move ``size_bytes`` over ``link``, as charged
@@ -136,13 +158,13 @@ def estimate_cs(profile: TaskProfile, link: Link) -> CostEstimate:
         0, profile.interactions - 1
     )
     money = transfer_money
-    compute_s = (
-        profile.interactions * profile.work_units / 1e6 / profile.remote_speed
-    )
+    required = profile.interactions * profile.work_units
+    compute_s = required / 1e6 / profile.remote_speed
+    penalty_s = _quota_penalty(required, profile.remote_work_quota)
     return CostEstimate(
         paradigm=PARADIGM_CS,
         wireless_bytes=total_bytes,
-        time_s=seconds + compute_s,
+        time_s=seconds + compute_s + penalty_s,
         money=money,
         energy_j=total_bytes * _RADIO_J_PER_BYTE,
     )
@@ -159,13 +181,13 @@ def estimate_rev(profile: TaskProfile, link: Link) -> CostEstimate:
     inbound = profile.result_bytes + HEADER_BYTES
     total_bytes = outbound + inbound
     transfer_s, money = _transfer(link, total_bytes)
-    compute_s = (
-        profile.interactions * profile.work_units / 1e6 / profile.remote_speed
-    )
+    required = profile.interactions * profile.work_units
+    compute_s = required / 1e6 / profile.remote_speed
+    penalty_s = _quota_penalty(required, profile.remote_work_quota)
     return CostEstimate(
         paradigm=PARADIGM_REV,
         wireless_bytes=total_bytes,
-        time_s=transfer_s + compute_s + link.latency_s,
+        time_s=transfer_s + compute_s + link.latency_s + penalty_s,
         money=money,
         energy_j=total_bytes * _RADIO_J_PER_BYTE,
     )
@@ -176,14 +198,13 @@ def estimate_cod(profile: TaskProfile, link: Link) -> CostEstimate:
     download = profile.code_bytes + HEADER_BYTES
     transfer_s, money = _transfer(link, download)
     uses = max(1, profile.expected_reuses)
-    compute_s = (
-        uses
-        * profile.interactions
-        * profile.work_units
-        / 1e6
-        / profile.local_speed
+    required = uses * profile.interactions * profile.work_units
+    compute_s = required / 1e6 / profile.local_speed
+    # COD's guest runs under the *local* grant, once per use.
+    penalty_s = uses * _quota_penalty(
+        profile.interactions * profile.work_units, profile.local_work_quota
     )
-    per_use_time = (transfer_s / uses) + compute_s / uses
+    per_use_time = (transfer_s / uses) + (compute_s + penalty_s) / uses
     return CostEstimate(
         paradigm=PARADIGM_COD,
         wireless_bytes=download / uses,
@@ -204,17 +225,19 @@ def estimate_ma(profile: TaskProfile, link: Link) -> CostEstimate:
     transfer_s, money = _transfer(link, wireless)
     # Remote hops: modelled at backbone speed, so only a latency term.
     remote_hops_s = profile.hosts_to_visit * 0.05
-    compute_s = (
-        profile.hosts_to_visit
-        * profile.interactions
-        * profile.work_units
-        / 1e6
-        / profile.remote_speed
+    required = (
+        profile.hosts_to_visit * profile.interactions * profile.work_units
+    )
+    compute_s = required / 1e6 / profile.remote_speed
+    # Each visited host grants the agent its own quota per stop.
+    penalty_s = profile.hosts_to_visit * _quota_penalty(
+        profile.interactions * profile.work_units,
+        profile.remote_work_quota,
     )
     return CostEstimate(
         paradigm=PARADIGM_MA,
         wireless_bytes=wireless,
-        time_s=transfer_s + remote_hops_s + compute_s,
+        time_s=transfer_s + remote_hops_s + compute_s + penalty_s,
         money=money,
         energy_j=wireless * _RADIO_J_PER_BYTE,
     )
@@ -224,16 +247,13 @@ def estimate_local(
     profile: TaskProfile, link: Optional[Link] = None
 ) -> CostEstimate:
     """Nothing moves: the task runs on the device's own (slow) CPU."""
-    compute_s = (
-        profile.interactions
-        * profile.work_units
-        / 1e6
-        / max(profile.local_speed, 1e-9)
-    )
+    required = profile.interactions * profile.work_units
+    compute_s = required / 1e6 / max(profile.local_speed, 1e-9)
+    penalty_s = _quota_penalty(required, profile.local_work_quota)
     return CostEstimate(
         paradigm=PARADIGM_LOCAL,
         wireless_bytes=0.0,
-        time_s=compute_s,
+        time_s=compute_s + penalty_s,
         money=0.0,
         energy_j=compute_s * _CPU_J_PER_S,
     )
@@ -347,6 +367,28 @@ class ParadigmSelector:
         remote_speed = None
         if targets and targets[0] in network.nodes:
             remote_speed = network.node(targets[0]).cpu_speed
+        # Quota-aware pricing (global-knowledge idiom, like reading the
+        # target's cpu_speed above): the grant each side's policy would
+        # hand this task's guest caps its usable compute there, and work
+        # the substrate already metered for this task ratchets the
+        # declared estimate upward when the guest under-declared.
+        task_name = getattr(task, "name", None)
+        principal = f"task:{task_name}" if task_name else None
+        local_work_quota = None
+        remote_work_quota = None
+        observed_work = None
+        if principal is not None:
+            local_work_quota = host.policy.grant_for(principal).work_units
+            observed_work = host.observed_guest_work(task_name)
+            peer = (
+                host.world.hosts.get(targets[0]) if targets else None
+            )
+            if peer is not None:
+                remote_work_quota = peer.policy.grant_for(
+                    principal
+                ).work_units
+                if observed_work is None:
+                    observed_work = peer.observed_guest_work(task_name)
         candidates = []
         for kind in self.available:
             component = host.paradigm_component(kind, required=False)
@@ -365,6 +407,9 @@ class ParadigmSelector:
             local_speed=host.node.cpu_speed,
             remote_speed=remote_speed,
             hosts=len(targets) or None,
+            local_work_quota=local_work_quota,
+            remote_work_quota=remote_work_quota,
+            observed_work=observed_work,
         )
         ranking = sorted(
             (component.cost(profile, link) for component in candidates),

@@ -112,7 +112,21 @@ class AgentContext:
         self._runtime = runtime
         self._agent = agent
         host = runtime.require_host()
-        self._exec = host.execution_context(principal=agent.agent_id)
+        # The agent's whole stay at this host is one provider session:
+        # every ``execute``/``invoke_local`` charge lands on the
+        # session's metered context, and closing it (lifecycle end or
+        # departure) emits the stay's resource metrics.
+        self._provider, self._session = host.guest_session(
+            principal=agent.agent_id
+        )
+        self._exec = self._session.context
+
+    def close(self) -> None:
+        """End this stay's provider session (idempotent)."""
+        if self._session.open:
+            self._runtime.require_host().close_guest_session(
+                self._provider, self._session
+            )
 
     # -- observation ---------------------------------------------------------
 
@@ -300,7 +314,7 @@ class AgentRuntime(Component):
         host = self.require_host()
         context = AgentContext(self, agent)
         try:
-            yield from agent.on_arrival(context)
+            yield from self._guarded_arrival(agent, context)
         except _MigrationComplete as move:
             self.hosted.pop(agent.agent_id, None)
             host.world.trace.emit(
@@ -313,6 +327,9 @@ class AgentRuntime(Component):
             return
         except SandboxViolation as violation:
             self.violations += 1
+            host.world.metrics.counter(
+                "security.sandbox_violations", labels={"node": host.id}
+            ).increment()
             host.world.trace.emit(
                 self.env.now, host.id, "agent.violation",
                 agent=agent.agent_id, error=str(violation),
@@ -337,6 +354,15 @@ class AgentRuntime(Component):
             self._finish(agent, outcome="crashed")
             return
         self._finish(agent, outcome="completed")
+
+    def _guarded_arrival(
+        self, agent: Agent, context: AgentContext
+    ) -> Generator:
+        """Run ``on_arrival`` inside the stay's provider session."""
+        try:
+            yield from agent.on_arrival(context)
+        finally:
+            context.close()
 
     def _finish(self, agent: Agent, outcome: str) -> None:
         host = self.require_host()

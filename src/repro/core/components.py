@@ -116,7 +116,18 @@ class Component:
         from .invocation import resolve_profile
 
         host = self.require_host()
-        profile = resolve_profile(task, local_speed=host.node.cpu_speed)
+        task_name = getattr(task, "name", None)
+        local_work_quota = None
+        if task_name:
+            local_work_quota = host.policy.grant_for(
+                f"task:{task_name}"
+            ).work_units
+        profile = resolve_profile(
+            task,
+            local_speed=host.node.cpu_speed,
+            local_work_quota=local_work_quota,
+            observed_work=host.observed_guest_work(task_name),
+        )
         return estimator_for(self.paradigm)(profile, link)
 
     def __repr__(self) -> str:

@@ -24,11 +24,16 @@ from ..errors import (
 from ..lmu import Capsule, Codebase, CodeRepository
 from ..net import Message, NetworkNode
 from ..security import (
+    ExecuteResult,
     ExecutionContext,
+    InProcessProvider,
     KeyPair,
-    Sandbox,
+    QuotaGrant,
+    SandboxProvider,
     SecurityPolicy,
+    SessionInfo,
     SIGNED_POLICY,
+    StrictProvider,
     TrustStore,
     WORK_UNITS_PER_SECOND,
     capsule_verification_delay,
@@ -65,7 +70,18 @@ class MobileHost:
             quota_bytes=quota_bytes, now=lambda: self.env.now
         )
         self.truststore = TrustStore()
-        self.sandbox = Sandbox(node.id, metrics=world.metrics)
+        #: Pluggable guest-execution substrate: provider name ->
+        #: :class:`~repro.security.SandboxProvider`.  Which provider a
+        #: guest runs under is decided by the principal's
+        #: :class:`~repro.security.QuotaGrant` (see ``run_guest``).
+        self.providers: Dict[str, SandboxProvider] = {
+            "inprocess": InProcessProvider(node.id, metrics=world.metrics),
+            "strict": StrictProvider(node.id, metrics=world.metrics),
+        }
+        #: Last observed metered work per task name, fed into the
+        #: paradigm cost model so the selector prices CPU it has seen,
+        #: not just the task's declared estimate.
+        self._observed_work: Dict[str, float] = {}
         self.keypair = keypair or KeyPair.generate(
             node.id, world.streams.stream(f"keys.{node.id}")
         )
@@ -121,6 +137,7 @@ class MobileHost:
         self._dispatcher = self.env.process(
             self._dispatch_loop(), name=f"dispatch:{node.id}"
         )
+        world.hosts[node.id] = self
 
     @property
     def id(self) -> str:
@@ -358,14 +375,90 @@ class MobileHost:
     def execution_context(
         self, principal: str, services: Optional[Dict[str, object]] = None
     ) -> ExecutionContext:
-        """A sandbox context carrying this host's policy budgets."""
+        """A sandbox context carrying ``principal``'s quota grant."""
+        grant = self.policy.grant_for(principal)
         return ExecutionContext(
             host_id=self.id,
             principal=principal,
-            work_budget=self.policy.guest_work_budget,
-            storage_budget_bytes=self.policy.guest_storage_bytes,
+            work_budget=grant.work_units,
+            storage_budget_bytes=grant.storage_bytes,
             services=services,
+            service_call_budget=grant.service_calls,
         )
+
+    def provider_for(self, grant: QuotaGrant) -> SandboxProvider:
+        """The installed provider a grant names (default: in-process)."""
+        return self.providers.get(grant.provider, self.providers["inprocess"])
+
+    def guest_session(
+        self,
+        principal: str,
+        services: Optional[Dict[str, object]] = None,
+        provider: Optional[str] = None,
+    ) -> Tuple[SandboxProvider, SessionInfo]:
+        """Open a guest-execution session for ``principal``.
+
+        The policy's :meth:`~repro.security.SecurityPolicy.grant_for`
+        picks the quotas and (unless ``provider`` overrides it) the
+        provider flavor.  The caller owns the session: run guests with
+        ``provider.execute(session, guest, *args)`` and finish with
+        :meth:`close_guest_session`.
+        """
+        grant = self.policy.grant_for(principal)
+        chosen = (
+            self.providers[provider]
+            if provider is not None
+            else self.provider_for(grant)
+        )
+        session = chosen.open_session(
+            principal,
+            grant,
+            services=services,
+            now=self.env.now,
+            cpu_speed=self.node.cpu_speed,
+        )
+        return chosen, session
+
+    def close_guest_session(
+        self, provider: SandboxProvider, session: SessionInfo
+    ) -> "object":
+        """Close a guest session, emitting its final metrics."""
+        return provider.close_session(session, now=self.env.now)
+
+    def run_guest(
+        self,
+        guest: object,
+        principal: str,
+        *args: object,
+        services: Optional[Dict[str, object]] = None,
+        provider: Optional[str] = None,
+        task_name: Optional[str] = None,
+    ) -> ExecuteResult:
+        """Run one guest callable through this host's provider substrate.
+
+        Opens a single-use session under ``principal``'s grant,
+        executes, and closes.  The caller still pays the simulated CPU
+        time: ``yield from host.execute(result.work_used)``.  When
+        ``task_name`` is given and the guest metered any work, the
+        observation feeds the paradigm cost model
+        (:meth:`observed_guest_work`).
+        """
+        chosen, session = self.guest_session(
+            principal, services=services, provider=provider
+        )
+        try:
+            result = chosen.execute(session, guest, *args)
+        finally:
+            self.close_guest_session(chosen, session)
+        if task_name is not None and result.work_used > 0:
+            self._observed_work[task_name] = result.work_used
+        return result
+
+    def observed_guest_work(self, task_name: Optional[str]) -> Optional[float]:
+        """Last metered work units a named task's guest consumed here."""
+        if task_name is None:
+            return None
+        return self._observed_work.get(task_name)
 
     # -- capsule security gate ----------------------------------------------------
 

@@ -61,7 +61,6 @@ from ..errors import (
     TransportTimeout,
     Unreachable,
     from_wire,
-    remote_failure,
     to_wire,
 )
 from ..lmu import CodeRepository, CodeUnit, code_unit, estimate_size
@@ -417,16 +416,27 @@ def resolve_profile(
     local_speed: Optional[float] = None,
     remote_speed: Optional[float] = None,
     hosts: Optional[int] = None,
+    local_work_quota: Optional[float] = None,
+    remote_work_quota: Optional[float] = None,
+    observed_work: Optional[float] = None,
 ) -> TaskProfile:
     """A :class:`TaskProfile` for the cost estimators.
 
-    Accepts a ready profile (speeds patched in if given) or an
+    Accepts a ready profile (speeds/quotas patched in if given) or an
     :class:`InvocationTask`, whose per-host ``interactions`` are
     multiplied out over ``hosts`` targets — the CS-centric convention
     the estimators use (``estimate_ma`` additionally scales by
     ``hosts_to_visit``, making its compute term conservative for
     multi-target tasks; transfer terms dominate paradigm choice in
     every scenario the paper discusses).
+
+    ``observed_work`` (metered :class:`~repro.security.Metrics` from a
+    prior run of the same guest) ratchets the task's declared
+    ``work_units`` *upward* — the selector prices CPU the substrate
+    actually measured when a guest under-declares, but a past small
+    invocation never masks a declared-large one.  The two quotas come
+    from the executing side's :class:`~repro.security.QuotaGrant` and
+    feed the estimators' quota-pressure penalty.
     """
     if isinstance(task, TaskProfile):
         updates: Dict[str, float] = {}
@@ -434,6 +444,12 @@ def resolve_profile(
             updates["local_speed"] = local_speed
         if remote_speed is not None:
             updates["remote_speed"] = remote_speed
+        if local_work_quota is not None:
+            updates["local_work_quota"] = local_work_quota
+        if remote_work_quota is not None:
+            updates["remote_work_quota"] = remote_work_quota
+        if observed_work is not None and observed_work > task.work_units:
+            updates["work_units"] = observed_work
         return replace(task, **updates) if updates else task
     count = int(hosts) if hosts else 1
     count = max(1, count)
@@ -443,12 +459,14 @@ def resolve_profile(
         reply_bytes=task.reply_bytes,
         code_bytes=task.code_bytes,
         result_bytes=task.result_bytes,
-        work_units=task.work_units,
+        work_units=max(task.work_units, observed_work or 0.0),
         local_speed=0.2 if local_speed is None else local_speed,
         remote_speed=1.0 if remote_speed is None else remote_speed,
         expected_reuses=task.expected_reuses,
         hosts_to_visit=count,
         state_bytes=task.state_bytes,
+        local_work_quota=local_work_quota,
+        remote_work_quota=remote_work_quota,
     )
 
 
@@ -474,18 +492,16 @@ def run_task_locally(
     same contract as the four mobile paradigms.
     """
     unit = unit if unit is not None else task.unit()
-    context = host.execution_context(
-        principal=f"task:{task.name}", services={"host_id": host.id}
+    outcome = host.run_guest(
+        unit.instantiate(),
+        f"task:{task.name}",
+        task.payload,
+        services={"host_id": host.id},
+        task_name=task.name,
     )
-    outcome = host.sandbox.run(unit.instantiate(), context, task.payload)
     yield from host.execute(outcome.work_used)
     if not outcome.ok:
-        raise from_wire(
-            remote_failure(
-                outcome.error or f"task {task.name} failed",
-                outcome.error_type,
-            )
-        )
+        raise from_wire(outcome.error_wire)
     return outcome.value
 
 
@@ -500,17 +516,15 @@ def provision_task(host, task: InvocationTask) -> CodeUnit:
     unit = task.unit()
 
     def handler(args: object, host_) -> Tuple[object, int]:
-        context = host_.execution_context(
-            principal=f"task:{task.name}", services={"host_id": host_.id}
+        outcome = host_.run_guest(
+            unit.instantiate(),
+            f"task:{task.name}",
+            args,
+            services={"host_id": host_.id},
+            task_name=task.name,
         )
-        outcome = host_.sandbox.run(unit.instantiate(), context, args)
         if not outcome.ok:
-            raise from_wire(
-                remote_failure(
-                    outcome.error or f"task {task.name} failed",
-                    outcome.error_type,
-                )
-            )
+            raise from_wire(outcome.error_wire)
         return outcome.value, estimate_size(outcome.value)
 
     if task.name not in host.services:

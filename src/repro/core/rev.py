@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, Generator, Optional, Sequence, Union
 
-from ..errors import UnitNotFound, remote_failure
+from ..errors import UnitNotFound
 from ..lmu import DataUnit, Requirement, build_capsule, estimate_size
 from ..net import Message
 from ..security import (
@@ -161,23 +161,21 @@ class RemoteEvaluation(Component):
         principal = yield from host.admit_capsule(capsule, OP_ACCEPT_REV)
         entry_unit = capsule.code_unit(payload["entry"])
         data = {unit.name: unit.payload for unit in capsule.data_units}
-        context = host.execution_context(
+        result = host.run_guest(
+            entry_unit.instantiate(),
             principal,
+            *payload.get("args", ()),
             services={"data": data, "host_id": host.id},
-        )
-        result = host.sandbox.run(
-            entry_unit.instantiate(), context, *payload.get("args", ())
+            task_name=entry_unit.name,
         )
         # The guest's metered work happens at *this* host's speed.
         yield from host.execute(result.work_used)
         if not result.ok:
+            # The typed wire payload travels as-is, so the caller
+            # rebuilds the same exception type the guest raised
+            # (SandboxViolation stays a SandboxViolation).
             yield self.pipeline.reply_error(
-                message,
-                KIND_ERROR,
-                remote_failure(
-                    result.error or f"REV of {entry_unit.name} failed",
-                    result.error_type,
-                ),
+                message, KIND_ERROR, result.error_wire
             )
             return
         self.pipeline.record_served(alias="rev.served")

@@ -8,7 +8,7 @@ these avoids threading six constructor arguments through every layer.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Dict, Iterable, Optional
 
 from typing import Optional as _Optional
 
@@ -61,6 +61,11 @@ class World:
         #: when set, ``RunReport.capture`` emits its breach events and
         #: flight-recorder dumps as ``health``/``flight``.
         self.health = None
+        #: Every :class:`~repro.core.host.MobileHost` registered on this
+        #: world, by node id — how fault injectors reach a host's guest
+        #: substrate and the paradigm selector reads a peer's quota
+        #: grants (the simulator's global-knowledge idiom).
+        self.hosts: Dict[str, object] = {}
 
     def profile(self) -> SimProfiler:
         """Attach (and return) a fresh kernel profiler for this world."""

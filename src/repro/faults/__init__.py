@@ -11,19 +11,26 @@ recovery invariants.  See docs/ROBUSTNESS.md.
 
 from .chaos import (
     ChaosOutcome,
+    HOSTILE_GRANT,
     build_fleet,
     chaos_task,
+    hostile_plan,
+    hostile_policy,
     run_chaos,
+    run_hostile,
     standard_plan,
     standard_slos,
     verify_agent_reroute,
     verify_discovery_recovery,
+    verify_hostile_containment,
     verify_local_degradation,
     verify_retry_convergence,
 )
+from .hostile import HOSTILE_GUESTS
 from .injectors import FaultInjector, inject
 from .plan import (
     FAULT_KINDS,
+    GUEST_FAULT_KINDS,
     MESSAGE_FAULT_KINDS,
     TOPOLOGY_FAULT_KINDS,
     FaultPlan,
@@ -36,16 +43,23 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
+    "GUEST_FAULT_KINDS",
+    "HOSTILE_GRANT",
+    "HOSTILE_GUESTS",
     "MESSAGE_FAULT_KINDS",
     "TOPOLOGY_FAULT_KINDS",
     "build_fleet",
     "chaos_task",
+    "hostile_plan",
+    "hostile_policy",
     "inject",
     "run_chaos",
+    "run_hostile",
     "standard_plan",
     "standard_slos",
     "verify_agent_reroute",
     "verify_discovery_recovery",
+    "verify_hostile_containment",
     "verify_local_degradation",
     "verify_retry_convergence",
 ]

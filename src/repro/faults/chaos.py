@@ -38,6 +38,7 @@ from ..core.invocation import LocalExecution
 from ..core.services import ServiceDescription
 from ..errors import ReproError
 from ..net import WIFI_ADHOC, Position
+from ..security import QuotaGrant, SecurityPolicy
 from .plan import FaultPlan
 
 #: Link-level retry for chaos calls: a little more patient than the
@@ -75,12 +76,15 @@ def build_fleet(
     clients: int = 4,
     servers: int = 2,
     task: Optional[InvocationTask] = None,
+    server_policy: Optional[SecurityPolicy] = None,
 ) -> Tuple[List, List]:
     """A fixed grid of Wi-Fi ad-hoc hosts, all in mutual radio range.
 
     Positions are static so the fault plan is the only source of
     disruption.  Servers are provisioned to serve ``task`` (and
     advertise it for discovery); everyone trusts everyone.
+    ``server_policy`` overrides the servers' security policy (how
+    hostile runs arm strict quota grants on the attack surface).
     """
     task = task if task is not None else chaos_task()
     client_hosts = [
@@ -93,6 +97,7 @@ def build_fleet(
         )
         for index in range(clients)
     ]
+    server_kwargs = {} if server_policy is None else {"policy": server_policy}
     server_hosts = [
         standard_host(
             world,
@@ -101,6 +106,7 @@ def build_fleet(
             [WIFI_ADHOC],
             fixed=True,
             cpu_speed=2.0,
+            **server_kwargs,
         )
         for index in range(servers)
     ]
@@ -357,6 +363,181 @@ def run_chaos(
         # wholesale instead of stripping the wall-clock field.
         created_at=world.env.now,
     ).to_dict()
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# Hostile-guest chaos
+# ---------------------------------------------------------------------------
+
+
+#: The strict grant hostile principals receive under
+#: :func:`hostile_policy`: small enough that every hostile body trips
+#: its quota within sim-milliseconds, enforced by the strict provider.
+HOSTILE_GRANT = QuotaGrant(
+    work_units=40_000.0,
+    storage_bytes=32_000,
+    service_calls=16,
+    provider="strict",
+)
+
+
+def hostile_policy() -> SecurityPolicy:
+    """A server policy arming strict quotas on hostile principals.
+
+    Every principal matching ``hostile:*`` runs under
+    :data:`HOSTILE_GRANT` on the strict provider; everyone else keeps
+    the default budgets, so the benign workload is untouched.
+    """
+    return SecurityPolicy(
+        require_signatures=True,
+        quota_grants={"hostile:*": HOSTILE_GRANT},
+    )
+
+
+def hostile_plan(
+    servers: int = 2, at: float = 10.0, spacing: float = 6.0
+) -> FaultPlan:
+    """The standard hostile-guest schedule: all three attack bodies.
+
+    A quota-exhaustion loop lands on server-0, a scratch-storage bomb
+    on every server, and a service-flood confused deputy on the last —
+    staggered ``spacing`` seconds apart so each attack's metered cost
+    is attributable in the trace.
+    """
+    server_ids = [f"server-{index}" for index in range(servers)]
+    plan = FaultPlan()
+    plan.hostile_guest([server_ids[0]], at=at, guest="quota_loop")
+    plan.hostile_guest(server_ids, at=at + spacing, guest="storage_bomb")
+    plan.hostile_guest(
+        [server_ids[-1]], at=at + 2 * spacing, guest="service_flood"
+    )
+    return plan
+
+
+def run_hostile(
+    seed: int = 7,
+    clients: int = 3,
+    servers: int = 2,
+    requests_per_client: int = 6,
+    spacing_s: float = 8.0,
+    hostile: Optional[FaultPlan] = None,
+    trace_enabled: bool = False,
+    spans_enabled: Optional[bool] = None,
+    slos=None,
+    sample_cadence: Optional[float] = None,
+) -> ChaosOutcome:
+    """The benign echo workload with hostile guests attacking servers.
+
+    Like :func:`run_chaos`, but the fault plan is the hostile-guest
+    family (default :func:`hostile_plan`) and the servers run
+    :func:`hostile_policy`, so the tier-1 invariants are checkable on
+    the outcome: benign completion stays >= 0.95 while every hostile
+    guest is terminated with ``SandboxViolation`` (``hostile.escapes``
+    stays 0) and its quota usage lands in per-node ``security.*`` /
+    ``hostile.*`` metrics inside the v3 report.  Pass an empty
+    ``FaultPlan()`` for the unarmed control run — it is bit-identical
+    to :func:`run_chaos` with an empty plan and the same fleet shape.
+    """
+    world = World(
+        seed=seed, trace_enabled=trace_enabled, spans_enabled=spans_enabled
+    )
+    if sample_cadence is not None:
+        world.sample_series(cadence=sample_cadence)
+    if slos is not None:
+        world.enable_health(
+            slos,
+            cadence=5.0 if sample_cadence is None else sample_cadence,
+        )
+    task = chaos_task()
+    client_hosts, server_hosts = build_fleet(
+        world,
+        clients=clients,
+        servers=servers,
+        task=task,
+        server_policy=hostile_policy(),
+    )
+    hostile = hostile if hostile is not None else hostile_plan(servers)
+    hostile.inject(world)
+    metrics = world.metrics
+    for name in ("chaos.completed", "chaos.failed", "chaos.app_retries"):
+        metrics.counter(name)
+    if len(hostile):
+        # Pre-create the verdict counters so a clean run still reports
+        # hostile.escapes == 0 (absence would be unfalsifiable).
+        for name in ("hostile.guests", "hostile.terminated", "hostile.escapes"):
+            metrics.counter(name)
+    drivers = [
+        world.env.process(
+            _client_driver(
+                world,
+                client,
+                server_hosts,
+                task,
+                requests_per_client,
+                spacing_s,
+                offset,
+            ),
+            name=f"chaos:{client.id}",
+        )
+        for offset, client in enumerate(client_hosts)
+    ]
+    world.run(until=world.env.all_of(drivers))
+    requests = clients * requests_per_client
+    completed = int(metrics.counter("chaos.completed").value)
+    outcome = ChaosOutcome(
+        seed=seed,
+        requests=requests,
+        completed=completed,
+        failed=int(metrics.counter("chaos.failed").value),
+        app_retries=int(metrics.counter("chaos.app_retries").value),
+        duration_s=world.now,
+    )
+    metrics.gauge("chaos.completion_rate").set(outcome.completion_rate)
+    outcome.summary = world.summary()
+    from ..obs import RunReport
+
+    outcome.report = RunReport.capture(
+        "hostile",
+        world,
+        params={
+            "seed": seed,
+            "clients": clients,
+            "servers": servers,
+            "requests": requests,
+            "faults": len(hostile),
+            "hostile_guests": len(hostile),
+            "completion_rate": outcome.completion_rate,
+        },
+        created_at=world.env.now,
+    ).to_dict()
+    return outcome
+
+
+def verify_hostile_containment(
+    seed: int = 7, floor: float = 0.95
+) -> ChaosOutcome:
+    """The hostile-guest tier-1 invariant, as one callable check.
+
+    Under the standard hostile plan: benign completion stays at or
+    above ``floor``, every launched guest is terminated with
+    ``SandboxViolation``, and nothing escapes the providers.
+    """
+    outcome = run_hostile(seed=seed)
+    summary = outcome.summary
+    guests = summary.get("hostile.guests", 0.0)
+    terminated = summary.get("hostile.terminated", 0.0)
+    escapes = summary.get("hostile.escapes", 0.0)
+    assert outcome.completion_rate >= floor, (
+        f"benign completion {outcome.completed}/{outcome.requests} fell "
+        f"below the {floor:.0%} floor under hostile guests"
+    )
+    assert guests >= 3, f"hostile plan launched only {guests:g} guests"
+    assert terminated == guests, (
+        f"{terminated:g}/{guests:g} hostile guests terminated with "
+        "SandboxViolation"
+    )
+    assert escapes == 0, f"{escapes:g} hostile guests escaped containment"
     return outcome
 
 

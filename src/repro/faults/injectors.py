@@ -26,7 +26,9 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, List, Tuple
 
+from ..errors import SandboxViolation
 from ..net import Message, NetworkNode
+from .hostile import HOSTILE_GUESTS
 from .plan import MESSAGE_FAULT_KINDS, FaultPlan, FaultSpec
 
 
@@ -90,6 +92,8 @@ class FaultInjector:
             yield from self._apply_crash(spec)
         elif spec.kind == "partition":
             yield from self._apply_partition(spec)
+        elif spec.kind == "hostile_guest":
+            yield from self._apply_hostile(spec)
         else:
             yield from self._apply_window(spec)
 
@@ -135,6 +139,60 @@ class FaultInjector:
                 len(spec.targets)
             )
             self._emit("fault.restart", nodes=list(spec.targets))
+
+    def _apply_hostile(self, spec: FaultSpec):
+        """Launch the named hostile guest into each target host.
+
+        The guest runs through the target's provider substrate under
+        the principal ``hostile:<guest>``, so the host's policy decides
+        the quota grant (and provider flavor) that must terminate it.
+        The host then pays the metered CPU the guest actually consumed
+        — a hostile guest costs its victim real simulated time, capped
+        by the grant.  Outcomes land in per-node ``hostile.*`` metrics:
+        ``terminated`` (killed by :class:`SandboxViolation` — the
+        invariant), ``escapes`` (anything else — must stay zero).
+        """
+        metrics = self.world.metrics
+        principal = f"hostile:{spec.guest}"
+        for node_id in spec.targets:
+            host = self.world.hosts.get(node_id)
+            if host is None or not host.node.up:
+                continue
+            labels = {"node": node_id}
+            deputy_calls = [0]
+
+            def deputy() -> None:
+                deputy_calls[0] += 1
+
+            metrics.counter("hostile.guests", labels=labels).increment()
+            result = host.run_guest(
+                HOSTILE_GUESTS[spec.guest](),
+                principal,
+                services={"deputy": deputy, "host_id": node_id},
+            )
+            self._emit(
+                "fault.hostile_guest",
+                node=node_id,
+                guest=spec.guest,
+                terminated=not result.ok,
+                error=result.error or "",
+                work_units=result.metrics.work_units,
+                storage_peak=result.metrics.peak_storage_bytes,
+                service_calls=result.metrics.service_calls,
+            )
+            if (
+                not result.ok
+                and result.error_type == SandboxViolation.__name__
+            ):
+                metrics.counter(
+                    "hostile.terminated", labels=labels
+                ).increment()
+            else:
+                metrics.counter("hostile.escapes", labels=labels).increment()
+            metrics.histogram("hostile.work_units", labels=labels).observe(
+                result.metrics.work_units
+            )
+            yield from host.execute(result.work_used)
 
     def _apply_partition(self, spec: FaultSpec):
         self._partitions.append(spec.groups)

@@ -21,7 +21,11 @@ Fault kinds (see docs/ROBUSTNESS.md for the model):
 * ``delay``         — window adding ``extra_latency_s`` to deliveries
   at ``rate`` (a latency spike; at partial rate it also reorders);
 * ``corrupt``       — window marking delivered payloads corrupted at
-  ``rate`` (receivers checksum-discard them).
+  ``rate`` (receivers checksum-discard them);
+* ``hostile_guest`` — a named hostile guest body (quota-exhaustion
+  loop, scratch-storage bomb, service-flood confused deputy; see
+  :data:`repro.faults.hostile.HOSTILE_GUESTS`) is launched into each
+  target host's sandbox-provider substrate at ``at``.
 
 Message-window faults (`drop`/`duplicate`/`delay`/`corrupt`) accept
 ``targets`` (destination node ids; empty = every node) and
@@ -39,7 +43,9 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 MESSAGE_FAULT_KINDS = ("drop", "duplicate", "delay", "corrupt")
 #: Faults that act on topology (nodes, interfaces, reachability).
 TOPOLOGY_FAULT_KINDS = ("link_flap", "crash", "partition")
-FAULT_KINDS = TOPOLOGY_FAULT_KINDS + MESSAGE_FAULT_KINDS
+#: Faults that launch hostile guest code into target hosts' sandboxes.
+GUEST_FAULT_KINDS = ("hostile_guest",)
+FAULT_KINDS = TOPOLOGY_FAULT_KINDS + MESSAGE_FAULT_KINDS + GUEST_FAULT_KINDS
 
 
 @dataclass(frozen=True)
@@ -67,6 +73,9 @@ class FaultSpec:
     #: seconds apart (period must cover the duration).
     repeat: int = 1
     period: float = 0.0
+    #: For ``hostile_guest``: the guest body's registered name (see
+    #: :data:`repro.faults.hostile.HOSTILE_GUESTS`).
+    guest: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -92,6 +101,18 @@ class FaultSpec:
             raise ValueError("a partition needs at least two groups")
         if self.kind in ("link_flap", "crash") and not self.targets:
             raise ValueError(f"{self.kind} needs at least one target node")
+        if self.kind == "hostile_guest":
+            if not self.targets:
+                raise ValueError(
+                    "hostile_guest needs at least one target node"
+                )
+            from .hostile import HOSTILE_GUESTS
+
+            if self.guest not in HOSTILE_GUESTS:
+                raise ValueError(
+                    f"unknown hostile guest {self.guest!r} "
+                    f"(one of {sorted(HOSTILE_GUESTS)})"
+                )
 
     def window(self, occurrence: int) -> Tuple[float, float]:
         """``(start, end)`` of the given occurrence (0-based)."""
@@ -145,6 +166,7 @@ _SPEC_DEFAULTS = {
     "message_kinds": (),
     "repeat": 1,
     "period": 0.0,
+    "guest": None,
 }
 
 
@@ -333,6 +355,26 @@ class FaultPlan:
                 rate=rate,
                 targets=tuple(targets),
                 message_kinds=tuple(message_kinds),
+            )
+        )
+
+    def hostile_guest(
+        self,
+        targets: Sequence[str],
+        at: float,
+        guest: str,
+        repeat: int = 1,
+        period: float = 0.0,
+    ) -> "FaultPlan":
+        """Launch the named hostile guest into each target's sandbox."""
+        return self.add(
+            FaultSpec(
+                kind="hostile_guest",
+                at=at,
+                targets=tuple(targets),
+                guest=guest,
+                repeat=repeat,
+                period=period,
             )
         )
 

@@ -61,6 +61,20 @@ DEFAULT_DIRECTIONS: Tuple[Tuple[str, Optional[str]], ...] = (
     ("health.critical_breaches*", "lower"),
     ("health.*", None),
     ("obs.labels.*", None),
+    # Hostile-guest chaos (repro.faults.hostile): terminations are the
+    # containment working, escapes are the one figure that must never
+    # grow; launch counts and metered attack cost are scenario shape.
+    # The security.* provider families describe how much guest
+    # activity the workload ran, not its quality — except violations
+    # and errors on a *fixed* scenario, which stay neutral too because
+    # hostile plans terminate guests *by* violation.
+    ("hostile.terminated*", "higher"),
+    ("hostile.escapes*", "lower"),
+    ("hostile.*", None),
+    ("security.sandbox_violations*", None),
+    ("security.sandbox_runs*", None),
+    ("security.sandbox_errors*", None),
+    ("security.guest_*", None),
     # Trace analytics (repro.obs.trace): the critical path and the
     # shares of time lost to queueing/transit stalls/retries should
     # shrink; the raw span/tree/invocation tallies are scenario shape.

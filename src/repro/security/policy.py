@@ -10,7 +10,8 @@ acceptable, and what resource budget guest code receives.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Optional
+from fnmatch import fnmatchcase
+from typing import FrozenSet, Mapping, Optional
 
 from ..errors import PolicyViolation
 
@@ -33,6 +34,23 @@ ALL_OPERATIONS = frozenset(
 
 
 @dataclass(frozen=True)
+class QuotaGrant:
+    """Resource quotas one principal's guest executions receive.
+
+    The grant names the provider flavor that enforces it:
+    ``"inprocess"`` meters post hoc (the cooperative default), while
+    ``"strict"`` preempts deterministically at charge points.  A
+    ``service_calls`` of ``None`` counts host-service lookups without
+    capping them.
+    """
+
+    work_units: float = 1_000_000_000.0
+    storage_bytes: int = 1_000_000
+    service_calls: Optional[int] = None
+    provider: str = "inprocess"
+
+
+@dataclass(frozen=True)
 class SecurityPolicy:
     """One host's stance towards logical mobility.
 
@@ -47,10 +65,18 @@ class SecurityPolicy:
     allowed_principals: Optional[FrozenSet[str]] = None
     #: Work-unit budget handed to one guest execution (REV body, agent
     #: step); 1e9 units is ~17 minutes of reference CPU.  See
-    #: :mod:`repro.security.sandbox`.
+    #: :mod:`repro.security.sandbox`.  These two scalars form the
+    #: *default* :class:`QuotaGrant` when ``quota_grants`` has no entry
+    #: for a principal.
     guest_work_budget: float = 1_000_000_000.0
     #: Bytes of scratch storage a guest execution may hold.
     guest_storage_bytes: int = 1_000_000
+    #: Per-principal quota grants.  Keys are principal names or
+    #: ``fnmatch`` globs (``"hostile:*"``, ``"task:crunch*"``); lookup
+    #: prefers an exact match, then the first glob that matches in
+    #: insertion order, then the default grant built from the two
+    #: scalars above.
+    quota_grants: Mapping[str, QuotaGrant] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         unknown = self.allowed_operations - ALL_OPERATIONS
@@ -78,6 +104,19 @@ class SecurityPolicy:
         except PolicyViolation:
             return False
         return True
+
+    def grant_for(self, principal: str) -> QuotaGrant:
+        """The :class:`QuotaGrant` this policy hands ``principal``."""
+        grant = self.quota_grants.get(principal)
+        if grant is not None:
+            return grant
+        for pattern, candidate in self.quota_grants.items():
+            if fnmatchcase(principal, pattern):
+                return candidate
+        return QuotaGrant(
+            work_units=self.guest_work_budget,
+            storage_bytes=self.guest_storage_bytes,
+        )
 
 
 #: Accept everything from anyone, unsigned — closed-lab testing only.

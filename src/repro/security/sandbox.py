@@ -2,10 +2,18 @@
 
 Guest code (a REV body, an agent's ``on_arrival`` step, a downloaded
 unit's behaviour) runs inside an :class:`ExecutionContext` that meters
-abstract *work units* and scratch storage.  Exceeding either budget
-raises :class:`SandboxViolation` inside the guest; the sandbox converts
-any guest exception into a structured :class:`ExecutionResult`, so a
-hostile or buggy unit can never crash its host.
+abstract *work units*, scratch storage, and host service calls.
+Exceeding a budget raises :class:`SandboxViolation` inside the guest;
+the surrounding :class:`~repro.security.provider.SandboxProvider`
+converts any guest exception into a structured
+:class:`~repro.security.provider.ExecuteResult`, so a hostile or buggy
+unit can never crash its host.
+
+Two metering disciplines exist, selected by the context's ``strict``
+flag (set by the owning provider): post-hoc (the historical flavor —
+a charge lands, then trips the check) and strict (the charge that
+would cross the quota never lands; usage is clamped to exactly the
+budget, giving deterministic preemption at charge points).
 
 Work units map to simulated CPU time through the host's ``cpu_speed``
 (see :data:`WORK_UNITS_PER_SECOND`); the middleware yields that delay.
@@ -13,7 +21,6 @@ Work units map to simulated CPU time through the host's ``cpu_speed``
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from ..errors import SandboxViolation
@@ -33,6 +40,8 @@ class ExecutionContext:
         work_budget: float = 1_000_000.0,
         storage_budget_bytes: int = 1_000_000,
         services: Optional[Dict[str, Any]] = None,
+        service_call_budget: Optional[int] = None,
+        strict: bool = False,
     ) -> None:
         self.host_id = host_id
         self.principal = principal
@@ -40,8 +49,22 @@ class ExecutionContext:
         self.storage_budget_bytes = storage_budget_bytes
         #: Host-provided API surface (discovery, messaging hooks, ...).
         self.services: Dict[str, Any] = dict(services or {})
+        #: None means unmetered (count only); an int is a hard cap.
+        self.service_call_budget = service_call_budget
+        #: Strict contexts preempt *at* the charge point; post-hoc
+        #: contexts let the charge land and then trip the check.
+        self.strict = strict
         self.work_used = 0.0
+        self.service_calls = 0
+        self.peak_storage_bytes = 0
         self._storage: Dict[str, object] = {}
+        # Running byte total, maintained on store/discard so the budget
+        # check is O(1) instead of re-serializing the whole scratch dict
+        # on every insert.  ``_entry_bytes`` remembers each key's
+        # contribution so overwrites and discards subtract exactly what
+        # they added.
+        self._storage_bytes = 0
+        self._entry_bytes: Dict[str, int] = {}
 
     # -- CPU metering --------------------------------------------------------
 
@@ -49,6 +72,14 @@ class ExecutionContext:
         """Account ``work_units`` of computation; raises on exhaustion."""
         if work_units < 0:
             raise ValueError("cannot charge negative work")
+        if self.strict and self.work_used + work_units > self.work_budget:
+            # Deterministic preemption: clamp usage to exactly the
+            # quota so the host never pays more CPU than the grant.
+            self.work_used = self.work_budget
+            raise SandboxViolation(
+                f"guest of {self.principal!r} preempted at work quota "
+                f"({self.work_budget:.0f} units)"
+            )
         self.work_used += work_units
         if self.work_used > self.work_budget:
             raise SandboxViolation(
@@ -64,22 +95,34 @@ class ExecutionContext:
 
     def store(self, key: str, value: object) -> None:
         """Put ``value`` in scratch storage, enforcing the byte budget."""
-        self._storage[key] = value
-        if self.storage_bytes_used > self.storage_budget_bytes:
-            del self._storage[key]
+        entry = estimate_size(key) + estimate_size(value)
+        projected = self._storage_bytes - self._entry_bytes.get(key, 0) + entry
+        if projected > self.storage_budget_bytes:
             raise SandboxViolation(
                 f"guest of {self.principal!r} exceeded storage budget "
                 f"({self.storage_budget_bytes}B)"
             )
+        self._storage[key] = value
+        self._entry_bytes[key] = entry
+        self._storage_bytes = projected
+        if projected > self.peak_storage_bytes:
+            self.peak_storage_bytes = projected
 
     def fetch(self, key: str, default: object = None) -> object:
         return self._storage.get(key, default)
 
     def discard(self, key: str) -> None:
-        self._storage.pop(key, None)
+        if key in self._storage:
+            del self._storage[key]
+            self._storage_bytes -= self._entry_bytes.pop(key)
 
     @property
     def storage_bytes_used(self) -> int:
+        return self._storage_bytes
+
+    def storage_bytes_recomputed(self) -> int:
+        """Full O(n) recomputation of the scratch byte total — the
+        reference the running total is tested against."""
         return sum(
             estimate_size(key) + estimate_size(value)
             for key, value in self._storage.items()
@@ -88,83 +131,57 @@ class ExecutionContext:
     # -- services ------------------------------------------------------------
 
     def service(self, name: str) -> Any:
-        """A host service by name; raises when the host offers none."""
+        """A host service by name; raises when the host offers none or
+        the grant's service-call quota is spent."""
+        if (
+            self.service_call_budget is not None
+            and self.service_calls >= self.service_call_budget
+        ):
+            raise SandboxViolation(
+                f"guest of {self.principal!r} exceeded service-call quota "
+                f"({self.service_call_budget} calls)"
+            )
         try:
-            return self.services[name]
+            handle = self.services[name]
         except KeyError:
             raise SandboxViolation(
                 f"host {self.host_id} offers no service {name!r} to guests"
             ) from None
-
-
-@dataclass
-class ExecutionResult:
-    """Outcome of one sandboxed execution."""
-
-    ok: bool
-    value: object = None
-    error: Optional[str] = None
-    error_type: Optional[str] = None
-    work_used: float = 0.0
-
-    @property
-    def cpu_seconds_reference(self) -> float:
-        """Simulated CPU seconds on a reference-speed host."""
-        return self.work_used / WORK_UNITS_PER_SECOND
+        self.service_calls += 1
+        return handle
 
 
 class Sandbox:
-    """Runs guest callables under a context, converting failures.
+    """Legacy facade: runs guest callables under a context.
 
-    ``metrics`` (a :class:`~repro.sim.metrics.MetricsRegistry`, or
-    None) receives ``security.sandbox_*`` counters and the per-guest
-    work histogram, so a fleet's guest activity shows up in run
-    reports.
+    Thin adapter over :class:`~repro.security.provider.InProcessProvider`
+    for call sites that manage their own :class:`ExecutionContext`.
+    All accounting lives in the provider and the metrics registry
+    (per-node ``security.*`` children) — the old ``executions`` /
+    ``violations`` instance counters are gone.
     """
 
     def __init__(self, host_id: str, metrics: Optional[Any] = None) -> None:
+        from .provider import InProcessProvider
+
         self.host_id = host_id
         self.metrics = metrics
-        self.executions = 0
-        self.violations = 0
+        self._provider = InProcessProvider(host_id, metrics=metrics)
 
-    def run(
-        self, guest: Any, context: ExecutionContext, *args: object
-    ) -> ExecutionResult:
+    @property
+    def provider(self) -> Any:
+        return self._provider
+
+    def run(self, guest: Any, context: ExecutionContext, *args: object) -> Any:
         """Execute ``guest(context, *args)`` under protection.
 
         Exceptions never propagate: budget violations and guest bugs
-        both come back as a failed :class:`ExecutionResult` with the
-        error text (the "remote traceback").
+        both come back as a failed
+        :class:`~repro.security.provider.ExecuteResult` carrying the
+        typed wire-error payload.
         """
-        self.executions += 1
-        if self.metrics is not None:
-            self.metrics.counter("security.sandbox_runs").increment()
+        session = self._provider.session_for(context)
         try:
-            value = guest(context, *args)
-        except SandboxViolation as violation:
-            self.violations += 1
-            if self.metrics is not None:
-                self.metrics.counter(
-                    "security.sandbox_violations"
-                ).increment()
-            return ExecutionResult(
-                ok=False,
-                error=str(violation),
-                error_type="SandboxViolation",
-                work_used=context.work_used,
-            )
-        except Exception as error:  # noqa: BLE001 - guest code is untrusted
-            if self.metrics is not None:
-                self.metrics.counter("security.sandbox_errors").increment()
-            return ExecutionResult(
-                ok=False,
-                error=f"{type(error).__name__}: {error}",
-                error_type=type(error).__name__,
-                work_used=context.work_used,
-            )
-        if self.metrics is not None:
-            self.metrics.histogram("security.guest_work").observe(
-                context.work_used
-            )
-        return ExecutionResult(ok=True, value=value, work_used=context.work_used)
+            return self._provider.execute(session, guest, *args)
+        finally:
+            self._provider.close_session(session)

@@ -6,6 +6,7 @@ from repro.core import World, mutual_trust, standard_host
 from repro.errors import (
     QuotaExceeded,
     RemoteExecutionError,
+    SandboxViolation,
     ServiceNotFound,
     UnitNotFound,
 )
@@ -101,7 +102,10 @@ class TestRemoteEvaluation:
 
         value = run(phone.world, go())
         assert value["args"] == [1, 2]
-        assert server.sandbox.executions == 1
+        runs = server.world.metrics.counter(
+            "security.sandbox_runs", labels={"node": server.id}
+        )
+        assert runs.value == 1
 
     def test_data_units_visible_to_guest(self, phone_and_server):
         phone, server = phone_and_server
@@ -162,9 +166,12 @@ class TestRemoteEvaluation:
         def go():
             yield from phone.component("rev").evaluate("server", ["greedy"])
 
-        with pytest.raises(RemoteExecutionError) as excinfo:
+        # The typed wire registry rebuilds the genuine violation class
+        # on the caller's side (it is a registered wire error), so the
+        # budget trip is no longer flattened into RemoteExecutionError.
+        with pytest.raises(SandboxViolation) as excinfo:
             run(phone.world, go())
-        assert "work budget" in excinfo.value.remote_error
+        assert "work budget" in str(excinfo.value)
 
 
 class TestCodeOnDemand:

@@ -1,19 +1,24 @@
 """Static guard: wire error payloads are shaped only in ``repro.errors``.
 
-Walks the AST of every module under ``src/repro/core`` and fails if any
-of them builds a dict literal with an ``"error_type"`` key — the
-signature of hand-rolled wire marshalling that :func:`repro.errors
-.to_wire` / :func:`~repro.errors.from_wire` exist to centralise.
+Walks the AST of every module under ``src/repro/core`` *and*
+``src/repro/security`` and fails if any of them builds a dict literal
+with an ``"error_type"`` key — the signature of hand-rolled wire
+marshalling that :func:`repro.errors.to_wire` /
+:func:`~repro.errors.from_wire` exist to centralise.  The security
+package joined the guard when :class:`~repro.security.SandboxProvider`
+started shipping typed failures (``ExecuteResult.error_wire``) across
+the REV/COD reply path.
 """
 
 import ast
 from pathlib import Path
 
+import pytest
+
 from repro.errors import WIRE_TYPE_KEY
 
-CORE_DIR = (
-    Path(__file__).resolve().parents[2] / "src" / "repro" / "core"
-)
+_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+GUARDED_DIRS = (_SRC / "core", _SRC / "security")
 
 
 def _offending_dicts(tree: ast.AST):
@@ -28,13 +33,19 @@ def _offending_dicts(tree: ast.AST):
                 yield node
 
 
-def test_core_dir_exists():
-    assert CORE_DIR.is_dir(), CORE_DIR
+@pytest.mark.parametrize(
+    "directory", GUARDED_DIRS, ids=lambda d: d.name
+)
+def test_guarded_dir_exists(directory):
+    assert directory.is_dir(), directory
 
 
-def test_no_raw_wire_payload_dicts_in_core():
+@pytest.mark.parametrize(
+    "directory", GUARDED_DIRS, ids=lambda d: d.name
+)
+def test_no_raw_wire_payload_dicts(directory):
     offenders = []
-    for path in sorted(CORE_DIR.rglob("*.py")):
+    for path in sorted(directory.rglob("*.py")):
         tree = ast.parse(path.read_text(), filename=str(path))
         for node in _offending_dicts(tree):
             offenders.append(f"{path.name}:{node.lineno}")

@@ -37,6 +37,16 @@ class TestFaultSpec:
         with pytest.raises(ValueError, match="target"):
             FaultSpec(kind="crash", at=0.0)
 
+    def test_hostile_guest_needs_targets(self):
+        with pytest.raises(ValueError, match="target"):
+            FaultSpec(kind="hostile_guest", at=0.0, guest="quota_loop")
+
+    def test_hostile_guest_must_be_registered(self):
+        with pytest.raises(ValueError, match="unknown hostile guest"):
+            FaultSpec(
+                kind="hostile_guest", at=0.0, targets=("a",), guest="meteor"
+            )
+
     def test_window_occurrences(self):
         spec = FaultSpec(
             kind="drop", at=10.0, duration=2.0, repeat=3, period=5.0
@@ -71,6 +81,7 @@ class TestFaultPlan:
             .duplicate(at=8.0, duration=1.0, rate=0.25, delay_s=0.1)
             .delay(at=9.0, duration=1.0, extra_s=2.0)
             .corrupt(at=10.0, duration=1.0, rate=0.1)
+            .hostile_guest(["b"], at=11.0, guest="quota_loop")
         )
 
     def test_builders_cover_all_kinds(self):
@@ -106,7 +117,7 @@ class TestFaultPlan:
     def test_shifted_moves_every_fault(self):
         shifted = self.make_plan().shifted(100.0)
         assert [spec.at for spec in shifted] == [
-            101.0, 103.0, 105.0, 107.0, 108.0, 109.0, 110.0,
+            101.0, 103.0, 105.0, 107.0, 108.0, 109.0, 110.0, 111.0,
         ]
 
     def test_end_time_covers_repeats(self):

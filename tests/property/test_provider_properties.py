@@ -1,0 +1,175 @@
+"""Property-based tests for the sandbox-provider substrate.
+
+Three invariants the tentpole depends on:
+
+* **Deterministic metering** — replaying the same guest behaviour
+  through a fresh session yields a bit-identical per-run
+  :class:`~repro.security.Metrics` record, for both provider flavors.
+* **No escape** — no exception class a guest raises (``BaseException``
+  subclasses included) ever escapes ``SandboxProvider.execute``.
+* **Running storage total** — the incremental byte total the budget
+  check reads equals the O(n) recomputation over the live entries
+  after any store/discard sequence.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.errors import SandboxViolation
+from repro.security import (
+    ExecutionContext,
+    InProcessProvider,
+    QuotaGrant,
+    StrictProvider,
+)
+
+PROVIDERS = st.sampled_from([InProcessProvider, StrictProvider])
+
+# Charge sequences stay positive; zero-unit charges are legal.
+CHARGES = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    max_size=20,
+)
+
+
+def _metered_replay(provider_cls, charges, budget):
+    provider = provider_cls("node")
+    session = provider.open_session("guest", QuotaGrant(work_units=budget))
+
+    def body(ctx):
+        for amount in charges:
+            ctx.charge(amount)
+        return "done"
+
+    result = provider.execute(session, body)
+    totals = provider.close_session(session)
+    return result, totals
+
+
+class TestDeterministicMetering:
+    @given(PROVIDERS, CHARGES, st.floats(min_value=1.0, max_value=1e7))
+    def test_same_guest_same_metrics(self, provider_cls, charges, budget):
+        first_result, first_totals = _metered_replay(
+            provider_cls, charges, budget
+        )
+        second_result, second_totals = _metered_replay(
+            provider_cls, charges, budget
+        )
+        assert first_result.ok == second_result.ok
+        assert first_result.metrics == second_result.metrics
+        assert first_totals == second_totals
+
+    @given(CHARGES, st.floats(min_value=1.0, max_value=1e7))
+    def test_strict_never_exceeds_quota(self, charges, budget):
+        _, totals = _metered_replay(StrictProvider, charges, budget)
+        assert totals.work_units <= budget
+
+    @given(CHARGES)
+    def test_flavors_agree_when_within_budget(self, charges):
+        # With an un-trippable budget the two flavors are
+        # indistinguishable: same success, same metered figures.
+        budget = 1e12
+        lenient, lenient_totals = _metered_replay(
+            InProcessProvider, charges, budget
+        )
+        strict, strict_totals = _metered_replay(
+            StrictProvider, charges, budget
+        )
+        assert lenient.ok and strict.ok
+        assert lenient.metrics == strict.metrics
+        assert lenient_totals == strict_totals
+
+
+class TestNoEscape:
+    @given(
+        PROVIDERS,
+        st.sampled_from(
+            [
+                ValueError,
+                KeyError,
+                RuntimeError,
+                ZeroDivisionError,
+                RecursionError,
+                MemoryError,
+                SystemExit,
+                KeyboardInterrupt,
+                GeneratorExit,
+                StopIteration,
+                SandboxViolation,
+            ]
+        ),
+        st.text(max_size=20),
+    )
+    def test_any_raise_is_contained(self, provider_cls, exc_class, message):
+        provider = provider_cls("node")
+        session = provider.open_session("guest", QuotaGrant())
+
+        def bomb(ctx):
+            raise exc_class(message)
+
+        result = provider.execute(session, bomb)
+        assert not result.ok
+        assert result.error_type is not None
+
+    @given(PROVIDERS)
+    def test_fresh_exception_class_is_contained(self, provider_cls):
+        provider = provider_cls("node")
+        session = provider.open_session("guest", QuotaGrant())
+
+        class Bespoke(BaseException):
+            pass
+
+        result = provider.execute(session, lambda ctx: _raise(Bespoke))
+        assert not result.ok
+        assert "Bespoke" in (result.error_type or "")
+
+
+def _raise(exc_class):
+    raise exc_class("hostile")
+
+
+# Storage op sequences: (True, key, size) stores, (False, key, 0) discards.
+_KEYS = st.sampled_from(["a", "b", "c", "d", "e"])
+STORAGE_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just(True), _KEYS, st.integers(0, 2000)),
+        st.tuples(st.just(False), _KEYS, st.just(0)),
+    ),
+    max_size=40,
+)
+
+
+class TestStorageRunningTotal:
+    @given(STORAGE_OPS)
+    def test_running_total_matches_recomputation(self, ops):
+        context = ExecutionContext(
+            "host", "guest", storage_budget_bytes=5_000
+        )
+        for is_store, key, size in ops:
+            if is_store:
+                try:
+                    context.store(key, "x" * size)
+                except SandboxViolation:
+                    pass  # rejected stores must not perturb the total
+            else:
+                context.discard(key)
+            assert (
+                context.storage_bytes_used
+                == context.storage_bytes_recomputed()
+            )
+
+    @given(STORAGE_OPS)
+    def test_peak_is_monotone_high_water(self, ops):
+        context = ExecutionContext(
+            "host", "guest", storage_budget_bytes=5_000
+        )
+        peak = 0
+        for is_store, key, size in ops:
+            if is_store:
+                try:
+                    context.store(key, "x" * size)
+                except SandboxViolation:
+                    pass
+            else:
+                context.discard(key)
+            peak = max(peak, context.storage_bytes_used)
+            assert context.peak_storage_bytes == peak

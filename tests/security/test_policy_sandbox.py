@@ -6,13 +6,17 @@ from repro.errors import PolicyViolation, SandboxViolation
 from repro.security import (
     CLIENT_ONLY_POLICY,
     ExecutionContext,
+    InProcessProvider,
     OPEN_POLICY,
     OP_ACCEPT_AGENT,
     OP_ACCEPT_REV,
     OP_SERVE_COD,
+    QuotaGrant,
     Sandbox,
     SecurityPolicy,
+    StrictProvider,
 )
+from repro.sim.metrics import MetricsRegistry
 
 
 class TestPolicy:
@@ -116,7 +120,8 @@ class TestSandbox:
         assert "guest bug" in result.error
 
     def test_budget_violation_reported(self):
-        sandbox = Sandbox("host")
+        metrics = MetricsRegistry()
+        sandbox = Sandbox("host", metrics=metrics)
         context = ExecutionContext("host", "guest", work_budget=5)
 
         def greedy(ctx):
@@ -125,7 +130,12 @@ class TestSandbox:
         result = sandbox.run(greedy, context)
         assert not result.ok
         assert result.error_type == "SandboxViolation"
-        assert sandbox.violations == 1
+        violations = metrics.counter(
+            "security.sandbox_violations", labels={"node": "host"}
+        )
+        assert violations.value == 1
+        # Labeled children roll up into the flat family total.
+        assert metrics.counter("security.sandbox_violations").value == 1
 
     def test_cpu_seconds_mapping(self):
         sandbox = Sandbox("host")
@@ -138,7 +148,119 @@ class TestSandbox:
         assert result.cpu_seconds_reference == pytest.approx(1.0)
 
     def test_execution_counter(self):
-        sandbox = Sandbox("host")
+        metrics = MetricsRegistry()
+        sandbox = Sandbox("host", metrics=metrics)
         for _ in range(3):
             sandbox.run(lambda ctx: None, ExecutionContext("host", "guest"))
-        assert sandbox.executions == 3
+        runs = metrics.counter(
+            "security.sandbox_runs", labels={"node": "host"}
+        )
+        assert runs.value == 3
+
+
+class TestQuotaGrants:
+    def test_default_grant_mirrors_legacy_scalars(self):
+        policy = SecurityPolicy(
+            guest_work_budget=123.0, guest_storage_bytes=456
+        )
+        grant = policy.grant_for("anyone")
+        assert grant.work_units == 123.0
+        assert grant.storage_bytes == 456
+        assert grant.service_calls is None
+        assert grant.provider == "inprocess"
+
+    def test_exact_match_beats_glob(self):
+        policy = SecurityPolicy(
+            quota_grants={
+                "task:*": QuotaGrant(work_units=10.0),
+                "task:big": QuotaGrant(work_units=99.0),
+            }
+        )
+        assert policy.grant_for("task:big").work_units == 99.0
+        assert policy.grant_for("task:other").work_units == 10.0
+
+    def test_glob_grants_match_in_insertion_order(self):
+        policy = SecurityPolicy(
+            quota_grants={
+                "hostile:*": QuotaGrant(work_units=1.0, provider="strict"),
+                "*": QuotaGrant(work_units=2.0),
+            }
+        )
+        assert policy.grant_for("hostile:quota_loop").provider == "strict"
+        assert policy.grant_for("task:x").work_units == 2.0
+
+
+class TestProviders:
+    def run_greedy(self, provider, budget=100.0, charge=150.0):
+        session = provider.open_session(
+            "guest", QuotaGrant(work_units=budget)
+        )
+        result = provider.execute(
+            session, lambda ctx: ctx.charge(charge)
+        )
+        totals = provider.close_session(session)
+        return session, result, totals
+
+    def test_capabilities_distinguish_flavors(self):
+        lenient = InProcessProvider("h").capabilities()
+        strict = StrictProvider("h").capabilities()
+        assert not lenient.strict_quotas
+        assert strict.strict_quotas
+        assert lenient.name == "inprocess" and strict.name == "strict"
+
+    def test_inprocess_overshoots_then_trips(self):
+        _, result, totals = self.run_greedy(InProcessProvider("h"))
+        assert not result.ok
+        assert result.error_type == "SandboxViolation"
+        # Post-hoc metering: the final charge lands before the check.
+        assert totals.work_units == 150.0
+
+    def test_strict_preempts_at_quota(self):
+        _, result, totals = self.run_greedy(StrictProvider("h"))
+        assert not result.ok
+        assert result.error_type == "SandboxViolation"
+        # Preemption clamps metered work to exactly the grant.
+        assert totals.work_units == 100.0
+
+    def test_session_lifecycle(self):
+        provider = StrictProvider("h")
+        session = provider.open_session(
+            "guest", QuotaGrant(), now=5.0, cpu_speed=2.0
+        )
+        assert session.open and session.opened_at == 5.0
+        provider.execute(session, lambda ctx: ctx.charge(1_000_000))
+        totals = provider.close_session(session, now=9.0)
+        assert not session.open and session.closed_at == 9.0
+        # 1e6 units at 2x reference speed -> 0.5 wall sim-seconds.
+        assert totals.wall_sim_seconds == pytest.approx(0.5)
+
+    def test_service_call_quota_enforced(self):
+        provider = StrictProvider("h")
+        session = provider.open_session(
+            "guest",
+            QuotaGrant(service_calls=2),
+            services={"ping": lambda: None},
+        )
+
+        def flood(ctx):
+            while True:
+                ctx.service("ping")
+
+        result = provider.execute(session, flood)
+        assert not result.ok
+        assert result.error_type == "SandboxViolation"
+        assert provider.close_session(session).service_calls == 2
+
+    def test_base_exception_never_escapes(self):
+        provider = InProcessProvider("h")
+        session = provider.open_session("guest", QuotaGrant())
+
+        class Hostile(BaseException):
+            pass
+
+        def bomb(ctx):
+            raise Hostile("escape attempt")
+
+        result = provider.execute(session, bomb)
+        assert not result.ok
+        assert "escape attempt" in result.error
