@@ -12,7 +12,10 @@ Two longitudinal mechanisms live here (see docs/OBSERVABILITY.md,
 * **Trajectory store** — every report write also appends one JSONL
   entry (git SHA, timestamp, numeric metrics) to
   ``benchmarks/results/trajectory.jsonl``, so the perf history of the
-  repository is a greppable, diffable log;
+  repository is a greppable, diffable log.  Appends are single locked
+  ``O_APPEND`` writes and report files land atomically (temp +
+  rename), so concurrent benches can't tear lines or truncate
+  reports — see :mod:`repro.obs.fileio`;
 * **Baseline gate** — ``gate_against_baseline`` compares a fresh
   report against the checked-in floor document under
   ``benchmarks/baselines/`` with ``repro.obs.diff`` (direction-aware,
@@ -26,11 +29,17 @@ from __future__ import annotations
 import json
 import os
 import subprocess
-import time
-from typing import Generator, Optional
+from typing import Generator, List, Optional, Tuple
 
 from repro.core import World
-from repro.obs import RunReport, SimProfiler
+from repro.obs import (
+    RunReport,
+    SimProfiler,
+    append_jsonl,
+    atomic_write_text,
+    read_jsonl_if_exists,
+    wall_time,
+)
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 BASELINES_DIR = os.path.join(os.path.dirname(__file__), "baselines")
@@ -108,7 +117,7 @@ def append_trajectory(
     entry = {
         "name": name,
         "sha": git_sha(),
-        "timestamp": time.time(),
+        "timestamp": wall_time(),
         "quick": quick(),
         "params": params or {},
         "metrics": {
@@ -118,9 +127,23 @@ def append_trajectory(
         },
     }
     os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(TRAJECTORY_PATH, "a") as handle:
-        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    # One locked O_APPEND write per entry: concurrent appenders (e.g.
+    # xdist workers, a matrix bench and a chaos bench racing) can never
+    # interleave partial lines.  Plain ``open(path, "a")`` could.
+    append_jsonl(TRAJECTORY_PATH, entry)
     return TRAJECTORY_PATH
+
+
+def read_trajectory(
+    path: Optional[str] = None, strict: bool = False
+) -> Tuple[List[dict], int]:
+    """Load trajectory entries, tolerating torn or corrupt lines.
+
+    Returns ``(entries, skipped)``; a missing log is just ``([], 0)``.
+    With ``strict=True`` a malformed line raises instead — the posture
+    for tests that assert the log is pristine.
+    """
+    return read_jsonl_if_exists(path or TRAJECTORY_PATH, strict=strict)
 
 
 def baseline_path(name: str) -> str:
@@ -221,8 +244,10 @@ def write_report_document(name: str, document: dict) -> str:
     """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.json")
-    with open(path, "w") as handle:
-        handle.write(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    # Atomic (temp + rename): a crash mid-write leaves the previous
+    # report intact instead of a truncated JSON file that poisons
+    # every later ``repro compare`` against it.
+    atomic_write_text(path, json.dumps(document, indent=2, sort_keys=True) + "\n")
     metrics = document.get("metrics") or {}
     append_trajectory(name, metrics, params=document.get("params"))
     return path
@@ -232,8 +257,7 @@ def write_result(name: str, text: str) -> str:
     """Persist a rendered table under benchmarks/results/ and echo it."""
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
-    with open(path, "w") as handle:
-        handle.write(text + "\n")
+    atomic_write_text(path, text + "\n")
     print()
     print(text)
     return path

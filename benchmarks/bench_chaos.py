@@ -10,9 +10,10 @@ drop/duplicate/delay/corrupt windows) and enforces three properties:
   shared ``gate_against_baseline`` diff (the same comparison CI
   re-runs as ``python -m repro compare --fail-on regress``).
 * **Determinism**: the two same-seed runs must produce bit-identical
-  metrics *and* bit-identical trace analyses — chaos results are only
-  diffable because the whole faulted trajectory is a pure function of
-  the seed.
+  *reports* — spans, message ids, metrics, trace analyses, all of it —
+  because chaos results are only diffable when the whole faulted
+  trajectory is a pure function of the seed (the invariant
+  ``python -m repro matrix --strict`` replays across processes).
 * **Trace health**: the runs capture causal spans, so the written
   report is a full document ``python -m repro trace`` can analyse; the
   per-invocation latency attribution must reconcile with the
@@ -30,6 +31,8 @@ full run, which the quick run sits comfortably under).
 """
 
 from __future__ import annotations
+
+import json
 
 from repro.__main__ import main as repro_main
 from repro.faults import run_chaos, standard_slos
@@ -56,13 +59,16 @@ def test_chaos_recovery_gate():
     )
 
     # Determinism first: a nondeterministic chaos run is ungateable.
-    assert first.summary == second.summary, (
+    # The whole report — span attributes and message ids included,
+    # since run_chaos scopes the id counter per run — must be byte
+    # identical, the same invariant `repro matrix --strict` replays
+    # across process boundaries.
+    assert json.dumps(first.report, sort_keys=True) == json.dumps(
+        second.report, sort_keys=True
+    ), (
         "same-seed chaos runs diverged — fault injection or workload "
-        "consumed nondeterministic state"
+        "consumed nondeterministic process state"
     )
-    # Span *ids* are process-global (they differ between the two runs),
-    # but every derived analysis metric is pure sim-time arithmetic and
-    # must match bit for bit.
     first_trace = TraceAnalysis.from_report(first.report)
     second_trace = TraceAnalysis.from_report(second.report)
     assert first_trace.metrics() == second_trace.metrics(), (

@@ -1,0 +1,111 @@
+"""Matrix benchmark — the parallel orchestrator, gated and replayed.
+
+Runs the chaos scenario across a seed sweep on a worker pool with
+strict replay armed, and enforces the run-matrix contract end to end:
+
+* **Correctness**: every job completes and every strict in-process
+  replay matches the pooled report byte for byte
+  (``runner.failures == 0``, ``runner.replay_mismatches == 0`` — both
+  gated by the committed baseline, not just asserted here);
+* **Merge determinism**: the merged matrix report from the pooled run
+  is byte-identical to a fresh serial (``workers=1``) execution of the
+  same spec — worker count and completion order leave no fingerprint;
+* **Recovery floors across seeds**: the cross-job aggregates must hold
+  the chaos completion floor for *every* seed
+  (``agg.chaos.completion_rate.min``), which is strictly stronger than
+  the single-seed chaos gate;
+* **Throughput (informational)**: the pooled wall time is compared to
+  a measured single-job wall to report an effective speedup.  The
+  figure lands in the trajectory log but is deliberately not gated —
+  CI containers routinely pin to one core, where a spawn pool can't
+  beat serial; the determinism and recovery gates above are the
+  load-bearing ones.
+
+``--quick`` shrinks the sweep (4 seeds on 2 workers, vs 8 on 4) and
+gates against ``baselines/matrix_quick.json``.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from repro.runner import RunMatrix, report_bytes, run_matrix
+
+from _common import (
+    append_trajectory,
+    gate_against_baseline,
+    quick,
+    write_report_document,
+)
+
+
+def _params():
+    if quick():
+        return dict(clients=3, servers=2, requests_per_client=4)
+    return dict(clients=4, servers=2, requests_per_client=6)
+
+
+def _spec() -> RunMatrix:
+    seeds = tuple(range(4 if quick() else 8))
+    return RunMatrix(
+        name="matrix", scenarios=("chaos",), seeds=seeds, params=_params()
+    )
+
+
+def test_matrix_gate():
+    matrix = _spec()
+    workers = 2 if quick() else 4
+
+    # Single-job wall reference, measured in-process (no pool).
+    single = RunMatrix(
+        name="single",
+        scenarios=("chaos",),
+        seeds=matrix.seeds[:1],
+        params=dict(matrix.params),
+    )
+    started = perf_counter()
+    single_result = run_matrix(single, workers=1)
+    single_wall = perf_counter() - started
+    assert single_result.ok
+
+    pooled = run_matrix(matrix, workers=workers, strict=True)
+    assert pooled.ok, (
+        f"matrix run failed: failures={pooled.failures} "
+        f"replay_mismatches={pooled.replay_mismatches}"
+    )
+    assert pooled.replayed == len(matrix), (
+        "strict mode must replay every completed job in-process"
+    )
+
+    # The merged document is a pure function of the job reports: a
+    # serial execution of the same spec must reproduce it byte for
+    # byte, whatever order the pool finished jobs in.
+    serial = run_matrix(matrix, workers=1)
+    assert report_bytes(serial.report) == report_bytes(pooled.report), (
+        "merged matrix report depends on worker count or completion order"
+    )
+
+    path = write_report_document("matrix", pooled.report)
+    diff = gate_against_baseline("matrix")
+
+    # Wall-clock figures are trajectory-only (see module docstring).
+    speedup = (single_wall * len(matrix)) / max(pooled.wall_seconds, 1e-9)
+    append_trajectory(
+        "matrix.wall",
+        {
+            "matrix.jobs": float(len(matrix)),
+            "matrix.workers": float(pooled.workers),
+            "matrix.wall_seconds": pooled.wall_seconds,
+            "matrix.single_job_seconds": single_wall,
+            "matrix.effective_speedup": speedup,
+        },
+        params={"quick": quick()},
+    )
+    completion_min = pooled.report["metrics"]["agg.chaos.completion_rate.min"]
+    print(
+        f"\nmatrix: {len(matrix)} chaos jobs on {pooled.workers} workers "
+        f"in {pooled.wall_seconds:.2f}s (single job {single_wall * 1000:.0f}ms, "
+        f"effective speedup {speedup:.2f}x); worst-seed completion "
+        f"{completion_min:.0%}; {pooled.replayed} strict replays, 0 "
+        f"mismatches; {len(diff.deltas)} gated metrics -> {path}"
+    )

@@ -17,7 +17,11 @@ Commands:
   and ``export --format chrome`` (Perfetto / chrome://tracing JSON);
 * ``health``  — render a report's fleet-health section (per-node SLO
   states, breach timeline, flight-recorder dumps); ``--strict`` exits
-  1 when any node breached a critical threshold (the chaos CI gate).
+  1 when any node breached a critical threshold (the chaos CI gate);
+* ``matrix``  — expand a run-matrix spec (scenarios × fault plans ×
+  seeds) and execute it across a worker pool; ``--strict`` replays
+  every job in-process and fails on any byte-level report mismatch;
+  ``--out`` writes the merged schema-v3 matrix report.
 """
 
 from __future__ import annotations
@@ -396,6 +400,76 @@ def _cmd_health(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_param(text: str):
+    """``key=value`` with JSON-typed values (bare words stay strings)."""
+    import json
+
+    key, sep, raw = text.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(
+            f"bad --param {text!r}: want key=value"
+        )
+    try:
+        return key, json.loads(raw)
+    except json.JSONDecodeError:
+        return key, raw
+
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.fileio import atomic_write_text
+    from repro.runner import MatrixOrchestrator, RunMatrix, seeds_from_text
+
+    try:
+        if args.spec:
+            matrix = RunMatrix.load(args.spec)
+        else:
+            plans = []
+            for plan in args.plan or ["default"]:
+                if plan in ("default", "none"):
+                    plans.append(plan)
+                else:  # a path to a serialised FaultPlan JSON file
+                    with open(plan) as handle:
+                        plans.append(json.load(handle))
+            matrix = RunMatrix(
+                name=args.name,
+                scenarios=tuple(args.scenario or ["chaos"]),
+                seeds=seeds_from_text(args.seeds),
+                plans=tuple(plans),
+                params=dict(args.param or []),
+            )
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"error: bad matrix spec: {error}", file=sys.stderr)
+        return 2
+
+    try:
+        orchestrator = MatrixOrchestrator(
+            matrix, workers=args.jobs, strict=args.strict
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(matrix.describe(), file=sys.stderr)
+    try:
+        result = orchestrator.run()
+    except (ValueError, ImportError, AttributeError) as error:
+        # Eager scenario resolution: a typo'd name/dotted path fails
+        # here as a usage error, before any worker starts.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.out:
+        document = json.dumps(result.report, indent=2, sort_keys=True)
+        atomic_write_text(args.out, document + "\n")
+        print(f"merged report -> {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(result.to_verdict(), indent=2, sort_keys=True))
+    else:
+        print(result.render())
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -589,6 +663,62 @@ def build_parser() -> argparse.ArgumentParser:
         "ends the run at the critical level",
     )
     health_cmd.set_defaults(handler=_cmd_health)
+
+    matrix_cmd = subparsers.add_parser(
+        "matrix",
+        help="run a scenario x plan x seed matrix across a worker pool",
+        description=(
+            "Expand a run-matrix spec into jobs, execute them (serially "
+            "or on a spawn worker pool), and merge the per-job reports "
+            "into one deterministic schema-v3 matrix report.  Exit 0 on "
+            "success, 1 on any job failure or strict replay mismatch, "
+            "2 on a bad spec."
+        ),
+    )
+    matrix_cmd.add_argument(
+        "spec", nargs="?",
+        help="path to a matrix spec JSON file (omit to build one from "
+        "--scenario/--seeds/--plan flags)",
+    )
+    matrix_cmd.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default 1: serial, in-process)",
+    )
+    matrix_cmd.add_argument(
+        "--strict", action="store_true",
+        help="replay every job in-process and fail on any byte-level "
+        "report mismatch (the determinism gate)",
+    )
+    matrix_cmd.add_argument(
+        "--out", metavar="PATH",
+        help="write the merged matrix report JSON here (atomic)",
+    )
+    matrix_cmd.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable verdict instead of the table",
+    )
+    matrix_cmd.add_argument(
+        "--name", default="matrix",
+        help="matrix name for flag-built specs (default: matrix)",
+    )
+    matrix_cmd.add_argument(
+        "--scenario", action="append", metavar="NAME",
+        help="scenario name or module:callable (repeatable; default chaos)",
+    )
+    matrix_cmd.add_argument(
+        "--seeds", default="0", metavar="LIST",
+        help="seed list '0,1,5' or range '0..7' (default: 0)",
+    )
+    matrix_cmd.add_argument(
+        "--plan", action="append", metavar="SPEC",
+        help="fault plan: 'default', 'none', or a FaultPlan JSON file "
+        "(repeatable; default: default)",
+    )
+    matrix_cmd.add_argument(
+        "--param", action="append", type=_parse_param, metavar="K=V",
+        help="shared scenario parameter, JSON-typed value (repeatable)",
+    )
+    matrix_cmd.set_defaults(handler=_cmd_matrix)
     return parser
 
 

@@ -13,9 +13,11 @@ from .chaos import (
     ChaosOutcome,
     HOSTILE_GRANT,
     build_fleet,
+    chaos_job,
     chaos_task,
     hostile_plan,
     hostile_policy,
+    resolve_plan_spec,
     run_chaos,
     run_hostile,
     standard_plan,
@@ -26,7 +28,7 @@ from .chaos import (
     verify_local_degradation,
     verify_retry_convergence,
 )
-from .hostile import HOSTILE_GUESTS
+from .hostile import HOSTILE_GUESTS, hostile_job
 from .injectors import FaultInjector, inject
 from .plan import (
     FAULT_KINDS,
@@ -49,10 +51,13 @@ __all__ = [
     "MESSAGE_FAULT_KINDS",
     "TOPOLOGY_FAULT_KINDS",
     "build_fleet",
+    "chaos_job",
     "chaos_task",
+    "hostile_job",
     "hostile_plan",
     "hostile_policy",
     "inject",
+    "resolve_plan_spec",
     "run_chaos",
     "run_hostile",
     "standard_plan",

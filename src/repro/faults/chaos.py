@@ -22,8 +22,9 @@ middleware must uphold (each raises ``AssertionError`` on violation):
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional, Tuple
+from typing import Callable, Dict, Generator, List, Optional, Tuple
 
 from ..core import (
     InvocationTask,
@@ -38,6 +39,7 @@ from ..core.invocation import LocalExecution
 from ..core.services import ServiceDescription
 from ..errors import ReproError
 from ..net import WIFI_ADHOC, Position
+from ..net.message import fresh_message_ids
 from ..security import QuotaGrant, SecurityPolicy
 from .plan import FaultPlan
 
@@ -47,6 +49,25 @@ CHAOS_RETRY = RetryPolicy(attempts=4, base_delay_s=1.0)
 #: Application-level retry budget per request, on top of CHAOS_RETRY.
 APP_ATTEMPTS = 4
 APP_BACKOFF_S = 5.0
+
+
+def _deterministic_ids(fn: Callable) -> Callable:
+    """Run ``fn`` inside a :func:`fresh_message_ids` scope.
+
+    Message ids (recorded in captured spans as ``msg_id``) come from a
+    process-wide counter, so without the scope a scenario's report
+    bytes depended on whatever ran earlier in the same process — the
+    nondeterminism ``repro matrix --strict`` replay checking flushed
+    out.  With it, a same-seed run is bit-identical whether it is the
+    first job in a fresh worker or the fortieth.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        with fresh_message_ids():
+            return fn(*args, **kwargs)
+
+    return wrapper
 
 
 def chaos_task(name: str = "chaos.echo") -> InvocationTask:
@@ -274,6 +295,7 @@ def _client_driver(
         requests_done.increment()
 
 
+@_deterministic_ids
 def run_chaos(
     seed: int = 7,
     clients: int = 4,
@@ -358,12 +380,60 @@ def run_chaos(
             "faults": len(plan),
             "completion_rate": outcome.completion_rate,
         },
-        # Sim-time creation stamp: the whole document is then a pure
-        # function of the seed, so determinism tests compare reports
-        # wholesale instead of stripping the wall-clock field.
-        created_at=world.env.now,
+        # capture() stamps sim-time by default, so the whole document
+        # is a pure function of the seed and determinism tests compare
+        # reports wholesale instead of stripping the wall-clock field.
     ).to_dict()
     return outcome
+
+
+def resolve_plan_spec(plan: object) -> Optional[FaultPlan]:
+    """Decode a run-matrix plan spec into a :class:`FaultPlan`.
+
+    ``None`` / ``"default"`` mean "let the scenario build its own
+    default schedule" (returned as ``None``); ``"none"`` is the
+    explicit unarmed control run; a dict is a serialised plan
+    (:meth:`FaultPlan.from_dict`) — how a matrix spec file ships a
+    custom fault schedule to worker processes as plain JSON.
+    """
+    if plan is None or plan == "default":
+        return None
+    if plan == "none":
+        return FaultPlan()
+    if isinstance(plan, dict):
+        return FaultPlan.from_dict(plan)
+    raise ValueError(
+        f"unknown fault-plan spec {plan!r} — want None, 'default', "
+        "'none', or a FaultPlan dict"
+    )
+
+
+def chaos_job(
+    seed: int,
+    plan: object = None,
+    slos: bool = False,
+    spans: bool = True,
+    **params: object,
+) -> Dict[str, object]:
+    """The chaos scenario as an importable run-matrix job target.
+
+    One job = one :func:`run_chaos` with everything JSON-addressable:
+    ``plan`` follows :func:`resolve_plan_spec`, ``slos`` arms the four
+    standard per-node monitors, remaining ``params`` go straight to
+    :func:`run_chaos` (``clients``, ``servers``,
+    ``requests_per_client``, ``spacing_s``).  Returns the full
+    :class:`~repro.obs.RunReport` dict — a pure function of the
+    arguments, which is what lets ``repro matrix --strict`` replay any
+    job in-process and demand byte identity with the worker pool.
+    """
+    outcome = run_chaos(
+        seed=seed,
+        plan=resolve_plan_spec(plan),
+        spans_enabled=spans,
+        slos=standard_slos() if slos else None,
+        **params,  # type: ignore[arg-type]
+    )
+    return outcome.report
 
 
 # ---------------------------------------------------------------------------
@@ -415,6 +485,7 @@ def hostile_plan(
     return plan
 
 
+@_deterministic_ids
 def run_hostile(
     seed: int = 7,
     clients: int = 3,
@@ -509,7 +580,6 @@ def run_hostile(
             "hostile_guests": len(hostile),
             "completion_rate": outcome.completion_rate,
         },
-        created_at=world.env.now,
     ).to_dict()
     return outcome
 

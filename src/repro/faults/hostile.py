@@ -85,3 +85,30 @@ HOSTILE_GUESTS: Dict[str, Callable[[], Callable]] = {
     "storage_bomb": storage_bomb_guest,
     "service_flood": service_flood_guest,
 }
+
+
+def hostile_job(
+    seed: int,
+    plan: object = None,
+    slos: bool = False,
+    spans: bool = True,
+    **params: object,
+) -> Dict[str, object]:
+    """The hostile-guest scenario as an importable run-matrix job target.
+
+    Mirrors :func:`repro.faults.chaos.chaos_job`: ``plan`` follows
+    :func:`~repro.faults.chaos.resolve_plan_spec` (``None`` means the
+    standard :func:`~repro.faults.chaos.hostile_plan`), remaining
+    ``params`` go to :func:`~repro.faults.chaos.run_hostile`.  Returns
+    the full report dict, a pure function of the arguments.
+    """
+    from .chaos import resolve_plan_spec, run_hostile, standard_slos
+
+    outcome = run_hostile(
+        seed=seed,
+        hostile=resolve_plan_spec(plan),
+        spans_enabled=spans,
+        slos=standard_slos() if slos else None,
+        **params,  # type: ignore[arg-type]
+    )
+    return outcome.report

@@ -10,8 +10,9 @@ explicit value.
 from __future__ import annotations
 
 import itertools
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Iterator, Optional
 
 _message_ids = itertools.count(1)
 
@@ -19,6 +20,29 @@ _message_ids = itertools.count(1)
 def next_message_id() -> int:
     """Process-wide unique, monotonically increasing message id."""
     return next(_message_ids)
+
+
+@contextmanager
+def fresh_message_ids() -> Iterator[None]:
+    """Deterministic message-id scope: ids restart at 1 inside.
+
+    The process-wide counter makes a run's message ids — and therefore
+    its captured spans, which record ``msg_id`` for correlation — a
+    function of *everything that ran earlier in the process*: the same
+    seed replayed as the second job in a worker produced different
+    report bytes than a fresh process.  Scenario harnesses (chaos,
+    hostile, :mod:`repro.runner` jobs) run inside this scope so every
+    run allocates ids from 1 regardless of process history; the outer
+    stream is restored on exit, so worlds outside the scope keep their
+    uniqueness guarantee (correlation maps never see a reused id).
+    """
+    global _message_ids
+    saved = _message_ids
+    _message_ids = itertools.count(1)
+    try:
+        yield
+    finally:
+        _message_ids = saved
 
 
 #: Fixed per-message envelope overhead (headers, framing), in bytes.

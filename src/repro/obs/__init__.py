@@ -47,6 +47,13 @@ from .diff import (
     diff_reports,
     direction_of,
 )
+from .fileio import (
+    append_jsonl,
+    atomic_write_text,
+    locked_append_line,
+    read_jsonl,
+    read_jsonl_if_exists,
+)
 from .health import (
     FlightRecorder,
     HealthEngine,
@@ -54,6 +61,7 @@ from .health import (
     SloSpec,
     worst_level,
 )
+from .wallclock import wall_time
 from .profiler import SimProfiler
 from .report import ReportSchemaError, RunReport, SCHEMA_KEYS, SCHEMA_VERSION
 from .timeseries import TimeSeriesRecorder
@@ -98,19 +106,25 @@ __all__ = [
     "SpanTree",
     "TimeSeriesRecorder",
     "TraceAnalysis",
+    "append_jsonl",
+    "atomic_write_text",
     "build_trees",
     "critical_path",
     "diff_report_files",
     "diff_reports",
     "direction_of",
+    "locked_append_line",
     "metrics_to_prometheus",
     "parse_prometheus",
+    "read_jsonl",
+    "read_jsonl_if_exists",
     "samples_to_exposition",
     "sanitize_metric_name",
     "spans_from_jsonl",
     "spans_to_jsonl",
     "trace_from_jsonl",
     "trace_to_jsonl",
+    "wall_time",
     "worst_level",
     "write_text",
 ]

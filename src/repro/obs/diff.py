@@ -89,6 +89,16 @@ DEFAULT_DIRECTIONS: Tuple[Tuple[str, Optional[str]], ...] = (
     ("trace.other_share", "lower"),
     ("trace.*_seconds", "lower"),
     ("trace.*", None),
+    # Run-matrix orchestrator (repro.runner): job failures and strict
+    # replay mismatches must never grow, completions must never drop;
+    # the job tally and summed sim-time are matrix shape.  The family
+    # precedes the generic rules so runner.completed_jobs gets its
+    # direction here rather than from ``*completed*``.
+    ("runner.failures", "lower"),
+    ("runner.replay_mismatches", "lower"),
+    ("runner.completed_jobs", "higher"),
+    ("runner.job_ok*", "higher"),
+    ("runner.*", None),
     # Routing-fabric counters (repro.net.routing): tree reuse should
     # grow; repairs/flushes/planner-ladder tallies are workload shape
     # (a repair is the system *working*, not failing).  Elided work —

@@ -13,11 +13,12 @@ from __future__ import annotations
 import json
 import platform
 import sys
-import time
 from typing import Dict, List, Optional, TYPE_CHECKING
 
 from ..analysis.tables import render_table
+from .fileio import atomic_write_text
 from .spans import Span, SpanTree, build_trees
+from .wallclock import wall_time
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.world import World
@@ -76,7 +77,10 @@ class RunReport:
     ) -> None:
         self.schema = schema
         self.name = name
-        self.created_at = time.time() if created_at is None else created_at
+        # Wall clock ONLY for reports built outside any kernel (e.g.
+        # analytical benches) — kernel-attached captures go through
+        # ``capture``, which defaults to deterministic sim-time.
+        self.created_at = wall_time() if created_at is None else created_at
         self.env = env or {}
         self.params = params or {}
         self.metrics = metrics or {}
@@ -101,10 +105,13 @@ class RunReport:
     ) -> "RunReport":
         """Snapshot a finished :class:`~repro.core.world.World`.
 
-        ``created_at`` defaults to wall-clock time; pass a value (for
-        example ``world.env.now``) to make the whole document a pure
-        function of the run — two same-seed captures then compare equal
-        without stripping anything.
+        ``created_at`` defaults to the world's *simulated* end time, so
+        a kernel-attached capture is a pure function of the run — two
+        same-seed captures (in one process or across worker processes)
+        compare bit-identical without stripping anything.  Wall-clock
+        stamps silently broke exactly that, so they are now opt-in:
+        pass ``created_at=repro.obs.wallclock.wall_time()`` explicitly
+        if a human-facing timestamp really is wanted.
         """
         import repro
 
@@ -159,7 +166,7 @@ class RunReport:
             nodes=nodes,
             health=health,
             flight=flight,
-            created_at=created_at,
+            created_at=world.env.now if created_at is None else created_at,
         )
 
     # -- (de)serialisation ---------------------------------------------------
@@ -259,9 +266,9 @@ class RunReport:
         return cls.from_dict(cls.validate(data))
 
     def write(self, path: str) -> str:
-        with open(path, "w") as handle:
-            handle.write(self.to_json() + "\n")
-        return path
+        """Write the report atomically (temp file + ``os.replace``), so
+        a process killed mid-write never leaves a truncated document."""
+        return atomic_write_text(path, self.to_json() + "\n")
 
     # -- inspection ----------------------------------------------------------
 

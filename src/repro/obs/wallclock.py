@@ -1,0 +1,25 @@
+"""The one place wall-clock time may enter ``repro``.
+
+Everything under ``src/repro`` models *simulated* time; a wall-clock
+reading that leaks into a run artifact silently destroys the whole-run
+bit-identity that replay checking (``repro matrix --strict``) and the
+same-seed determinism tests rely on.  A lint-style AST guard
+(``tests/obs/test_wallclock_guard.py``) therefore bans ``time.time()``
+everywhere in the package except this module — code that genuinely
+needs a wall-clock stamp (a *default* for reports captured outside any
+kernel, never for kernel-attached captures) imports :func:`wall_time`
+so every such site is greppable and reviewed.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def wall_time() -> float:
+    """Seconds since the epoch, from the real (wall) clock.
+
+    The only sanctioned wall-clock read in ``repro``.  Never use it for
+    anything attached to a running kernel — pass ``env.now`` instead.
+    """
+    return time.time()

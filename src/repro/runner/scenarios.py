@@ -1,0 +1,47 @@
+"""Scenario registry: names a matrix spec may put in ``scenarios``.
+
+A scenario target is any importable callable with the job signature
+
+    target(seed: int, plan=None, **params) -> report dict
+
+returning a full :class:`~repro.obs.RunReport` document that is a
+*pure function of its arguments* — the contract strict replay checking
+enforces.  Built-in names map to the fault-family harnesses; anything
+else is resolved as a ``"package.module:callable"`` dotted path, so
+downstream experiments plug their own scenarios into the orchestrator
+without touching this module.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable, Dict
+
+#: Built-in scenario names → dotted job targets.
+SCENARIOS: Dict[str, str] = {
+    "chaos": "repro.faults.chaos:chaos_job",
+    "hostile": "repro.faults.hostile:hostile_job",
+}
+
+
+def resolve_scenario(spec: str) -> Callable:
+    """A scenario name or ``module:callable`` path → the job target.
+
+    Raises ``ValueError`` with the known names on an unknown bare name,
+    ``ImportError``/``AttributeError`` on a dangling dotted path —
+    at *submit* time in the parent, not inside a worker, so a typo in
+    a spec file fails fast with a readable message.
+    """
+    target = SCENARIOS.get(spec, spec)
+    if ":" not in target:
+        known = ", ".join(sorted(SCENARIOS))
+        raise ValueError(
+            f"unknown scenario {spec!r} — want one of [{known}] or a "
+            "'package.module:callable' path"
+        )
+    module_name, _, attribute = target.partition(":")
+    module = importlib.import_module(module_name)
+    fn = getattr(module, attribute)
+    if not callable(fn):
+        raise ValueError(f"scenario target {target!r} is not callable")
+    return fn

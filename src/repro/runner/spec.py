@@ -1,0 +1,200 @@
+"""Run-matrix specs: the declarative unit of parallel evaluation.
+
+A :class:`RunMatrix` names a cross product — scenarios × fault plans ×
+seeds, plus one shared parameter dict — and expands it into an ordered
+list of :class:`MatrixJob` descriptions.  Everything is plain JSON
+(``to_dict``/``from_dict`` round-trip exactly), because jobs must cross
+process boundaries to ``spawn`` workers and specs must live in files a
+CI job can check in (``python -m repro matrix spec.json``).
+
+Job identity is the string :attr:`MatrixJob.key`
+(``scenario/plan/s<seed>``): the merge labels every metric with it, the
+replay checker names mismatches by it, and — because the expansion
+order is deterministic — the same spec always produces the same jobs
+in the same order, whatever order workers *finish* them in.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+#: Plan specs a job may carry: the scenario default, the explicit
+#: unarmed control, or an inline serialised FaultPlan dict.
+PlanSpec = object  # None | "default" | "none" | Dict[str, object]
+
+
+def plan_label(plan: PlanSpec, index: int) -> str:
+    """The short name a plan spec contributes to job keys.
+
+    Inline dicts are positional (``plan<index>``) since two custom
+    plans have no intrinsic names; the index is their position in the
+    matrix's ``plans`` list, which is part of the spec and therefore
+    stable.
+    """
+    if plan is None or plan == "default":
+        return "default"
+    if plan == "none":
+        return "none"
+    if isinstance(plan, dict):
+        return f"plan{index}"
+    raise ValueError(f"unknown plan spec {plan!r}")
+
+
+@dataclass(frozen=True)
+class MatrixJob:
+    """One (scenario, plan, seed, params) cell of a run matrix."""
+
+    scenario: str
+    seed: int
+    plan: PlanSpec = None
+    plan_name: str = "default"
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    @property
+    def key(self) -> str:
+        """Deterministic job identity: ``scenario/plan/s<seed>``."""
+        return f"{self.scenario}/{self.plan_name}/s{self.seed}"
+
+    @property
+    def kwargs(self) -> Dict[str, object]:
+        """The scenario call's keyword arguments (params as a dict)."""
+        return dict(self.params)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "plan": self.plan,
+            "plan_name": self.plan_name,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "MatrixJob":
+        params = data.get("params") or {}
+        if not isinstance(params, dict):
+            raise ValueError("job 'params' must be an object")
+        return cls(
+            scenario=str(data["scenario"]),
+            seed=int(data["seed"]),  # type: ignore[arg-type]
+            plan=data.get("plan"),
+            plan_name=str(data.get("plan_name", "default")),
+            params=tuple(sorted(params.items())),
+        )
+
+
+@dataclass
+class RunMatrix:
+    """Scenarios × plans × seeds with shared params, JSON round-trip."""
+
+    name: str
+    scenarios: Sequence[str] = ("chaos",)
+    seeds: Sequence[int] = (0,)
+    plans: Sequence[PlanSpec] = (None,)
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.scenarios = tuple(str(s) for s in self.scenarios)
+        self.seeds = tuple(int(s) for s in self.seeds)
+        self.plans = tuple(self.plans) if self.plans else (None,)
+        if not self.scenarios:
+            raise ValueError("a run matrix needs at least one scenario")
+        if not self.seeds:
+            raise ValueError("a run matrix needs at least one seed")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ValueError(f"duplicate seeds in matrix: {self.seeds}")
+        # Validate plan specs eagerly (labels raise on junk) and check
+        # key uniqueness — two jobs with one key would silently merge.
+        labels = [
+            plan_label(plan, index) for index, plan in enumerate(self.plans)
+        ]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate plan labels in matrix: {labels}")
+
+    def jobs(self) -> List[MatrixJob]:
+        """The expansion, in deterministic scenario→plan→seed order."""
+        shared = tuple(sorted(self.params.items()))
+        return [
+            MatrixJob(
+                scenario=scenario,
+                seed=seed,
+                plan=plan,
+                plan_name=plan_label(plan, index),
+                params=shared,
+            )
+            for scenario in self.scenarios
+            for index, plan in enumerate(self.plans)
+            for seed in self.seeds
+        ]
+
+    def __len__(self) -> int:
+        return len(self.scenarios) * len(self.plans) * len(self.seeds)
+
+    def __iter__(self) -> Iterator[MatrixJob]:
+        return iter(self.jobs())
+
+    # -- (de)serialisation ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "scenarios": list(self.scenarios),
+            "seeds": list(self.seeds),
+            "plans": list(self.plans),
+            "params": dict(self.params),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunMatrix":
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"matrix spec must be a JSON object, got {type(data).__name__}"
+            )
+        name = data.get("name")
+        if not isinstance(name, str) or not name:
+            raise ValueError("matrix spec needs a non-empty 'name'")
+        params = data.get("params") or {}
+        if not isinstance(params, dict):
+            raise ValueError("matrix 'params' must be an object")
+        return cls(
+            name=name,
+            scenarios=tuple(data.get("scenarios") or ("chaos",)),
+            seeds=tuple(data.get("seeds") or (0,)),  # type: ignore[arg-type]
+            plans=tuple(
+                data["plans"] if data.get("plans") else (None,)
+            ),
+            params=dict(params),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunMatrix":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path: str) -> "RunMatrix":
+        with open(path) as handle:
+            return cls.from_json(handle.read())
+
+    def describe(self) -> str:
+        return (
+            f"matrix {self.name!r}: {len(self.scenarios)} scenario(s) x "
+            f"{len(self.plans)} plan(s) x {len(self.seeds)} seed(s) = "
+            f"{len(self)} job(s)"
+        )
+
+
+def seeds_from_text(text: str) -> Tuple[int, ...]:
+    """Parse a CLI seed list: ``"0,1,5"`` or a range ``"0..7"``."""
+    text = text.strip()
+    if ".." in text:
+        low, _, high = text.partition("..")
+        start, stop = int(low), int(high)
+        if stop < start:
+            raise ValueError(f"empty seed range {text!r}")
+        return tuple(range(start, stop + 1))
+    return tuple(int(part) for part in text.split(",") if part.strip())

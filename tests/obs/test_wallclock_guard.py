@@ -1,0 +1,68 @@
+"""Static guard: wall-clock reads happen only in ``repro.obs.wallclock``.
+
+Walks the AST of every module under ``src/repro`` and fails on any
+``time.time`` attribute access or ``from time import time`` outside
+the allowlisted shim.  The point is determinism: a bare ``time.time()``
+in library code stamps kernel artifacts with host wall time, which is
+exactly how ``RunReport.created_at`` broke same-seed bit-identity
+(reports are supposed to be pure functions of seed + scenario + plan).
+Simulation code reads :func:`repro.core.world.World.env`'s clock;
+anything that genuinely needs the host clock goes through
+:func:`repro.obs.wallclock.wall_time` so the exception stays auditable.
+
+``time.perf_counter`` / ``time.monotonic`` stay legal everywhere: they
+measure *durations* for benchmarks and never leak into report
+documents.
+"""
+
+import ast
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: The one module allowed to touch the host wall clock.
+ALLOWED = {_SRC / "obs" / "wallclock.py"}
+
+
+def _offenders(tree: ast.AST):
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr == "time"
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "time"
+        ):
+            yield node.lineno, "time.time"
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name == "time":
+                    yield node.lineno, "from time import time"
+
+
+def test_allowlisted_shim_exists():
+    for path in ALLOWED:
+        assert path.is_file(), path
+
+
+def test_no_bare_wall_clock_reads_in_library_code():
+    offenders = []
+    for path in sorted(_SRC.rglob("*.py")):
+        if path in ALLOWED:
+            continue
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for lineno, what in _offenders(tree):
+            offenders.append(
+                f"{path.relative_to(_SRC)}:{lineno} ({what})"
+            )
+    assert not offenders, (
+        "bare wall-clock read(s) in src/repro — route them through "
+        f"repro.obs.wallclock.wall_time: {offenders}"
+    )
+
+
+def test_shim_is_the_only_wall_time_definition():
+    # The shim itself must actually read the wall clock (otherwise the
+    # guard would pass trivially with a broken shim).
+    shim = next(iter(ALLOWED))
+    tree = ast.parse(shim.read_text(), filename=str(shim))
+    assert list(_offenders(tree)), "wallclock shim no longer calls time.time"

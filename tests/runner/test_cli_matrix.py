@@ -1,0 +1,108 @@
+"""Tests for ``python -m repro matrix`` (in-process via ``main``)."""
+
+import json
+
+from repro.__main__ import main
+
+#: Tiny chaos params so every CLI invocation stays fast.
+FAST_ARGS = [
+    "--param", "clients=2",
+    "--param", "servers=1",
+    "--param", "requests_per_client=2",
+]
+
+
+class TestMatrixCli:
+    def test_flag_built_spec_runs_serial(self, capsys):
+        code = main(
+            ["matrix", "--scenario", "chaos", "--seeds", "0,1"] + FAST_ARGS
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "verdict: OK" in captured.out
+        assert "chaos/default/s0" in captured.out
+        assert "2 seed(s)" in captured.err
+
+    def test_spec_file_positional(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "name": "filed",
+            "scenarios": ["chaos"],
+            "seeds": [0],
+            "params": {"clients": 2, "servers": 1,
+                       "requests_per_client": 2},
+        }))
+        assert main(["matrix", str(spec)]) == 0
+        assert "filed" in capsys.readouterr().err
+
+    def test_json_verdict(self, capsys):
+        code = main(
+            ["matrix", "--seeds", "0", "--json", "--strict"] + FAST_ARGS
+        )
+        assert code == 0
+        verdict = json.loads(capsys.readouterr().out)
+        assert verdict["verdict"] == "ok"
+        assert verdict["jobs"] == 1
+        assert verdict["strict"] is True
+        assert verdict["replayed"] == 1
+        assert verdict["replay_mismatches"] == []
+
+    def test_out_writes_checked_report(self, tmp_path, capsys):
+        from repro.obs import RunReport
+
+        out = tmp_path / "merged.json"
+        code = main(
+            ["matrix", "--seeds", "0..1", "--out", str(out)] + FAST_ARGS
+        )
+        assert code == 0
+        report = RunReport.load_checked(str(out))
+        assert report.metrics["runner.completed_jobs"] == 2.0
+        assert len(report.nodes) == 2
+
+    def test_seed_range_and_plans(self, capsys):
+        code = main(
+            ["matrix", "--seeds", "0..2", "--plan", "default",
+             "--plan", "none"] + FAST_ARGS
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "chaos/none/s2" in captured.out
+        assert "= 6 job(s)" in captured.err
+
+    def test_failing_job_exits_one(self, capsys):
+        code = main(["matrix", "--seeds", "0", "--param", "bogus=1"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "FAIL chaos/default/s0" in captured.out
+        assert "verdict: FAILED" in captured.out
+
+    def test_strict_nondeterminism_exits_one(self, capsys):
+        code = main([
+            "matrix", "--strict", "--seeds", "0",
+            "--scenario", "tests.runner.test_orchestrator:nondet_job",
+        ])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "REPLAY-MISMATCH" in captured.out
+
+    def test_missing_spec_file_is_usage_error(self, capsys):
+        assert main(["matrix", "/no/such/spec.json"]) == 2
+        assert "bad matrix spec" in capsys.readouterr().err
+
+    def test_corrupt_spec_file_is_usage_error(self, tmp_path, capsys):
+        spec = tmp_path / "bad.json"
+        spec.write_text("{not json")
+        assert main(["matrix", str(spec)]) == 2
+        assert "bad matrix spec" in capsys.readouterr().err
+
+    def test_unknown_scenario_is_usage_error(self, capsys):
+        assert main(["matrix", "--scenario", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_zero_workers_is_usage_error(self, capsys):
+        assert main(["matrix", "--seeds", "0", "--jobs", "0"]) == 2
+        assert "workers" in capsys.readouterr().err
+
+    def test_duplicate_seeds_is_usage_error(self, capsys):
+        assert main(["matrix", "--seeds", "1,1"]) == 2
+        assert "duplicate seeds" in capsys.readouterr().err

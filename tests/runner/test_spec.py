@@ -1,0 +1,212 @@
+"""Tests for the run-matrix spec: expansion, round-trip, validation."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runner import (
+    MatrixJob,
+    RunMatrix,
+    plan_label,
+    seeds_from_text,
+)
+
+
+class TestPlanLabel:
+    def test_default_forms(self):
+        assert plan_label(None, 0) == "default"
+        assert plan_label("default", 3) == "default"
+
+    def test_none_plan(self):
+        assert plan_label("none", 1) == "none"
+
+    def test_inline_dict_is_positional(self):
+        assert plan_label({"specs": []}, 2) == "plan2"
+
+    def test_junk_raises(self):
+        with pytest.raises(ValueError):
+            plan_label(42, 0)
+
+
+class TestMatrixJob:
+    def test_key_shape(self):
+        job = MatrixJob(scenario="chaos", seed=7, plan_name="none")
+        assert job.key == "chaos/none/s7"
+
+    def test_round_trip(self):
+        job = MatrixJob(
+            scenario="hostile",
+            seed=3,
+            plan={"specs": []},
+            plan_name="plan1",
+            params=(("clients", 2), ("servers", 1)),
+        )
+        again = MatrixJob.from_dict(job.to_dict())
+        assert again == job
+        assert again.kwargs == {"clients": 2, "servers": 1}
+
+    def test_from_dict_sorts_params(self):
+        job = MatrixJob.from_dict(
+            {"scenario": "chaos", "seed": 0, "params": {"b": 2, "a": 1}}
+        )
+        assert job.params == (("a", 1), ("b", 2))
+
+    def test_from_dict_rejects_non_dict_params(self):
+        with pytest.raises(ValueError):
+            MatrixJob.from_dict(
+                {"scenario": "chaos", "seed": 0, "params": [1, 2]}
+            )
+
+
+class TestRunMatrix:
+    def test_expansion_order_is_scenario_plan_seed(self):
+        matrix = RunMatrix(
+            name="m",
+            scenarios=("chaos", "hostile"),
+            seeds=(0, 1),
+            plans=(None, "none"),
+        )
+        assert [job.key for job in matrix.jobs()] == [
+            "chaos/default/s0",
+            "chaos/default/s1",
+            "chaos/none/s0",
+            "chaos/none/s1",
+            "hostile/default/s0",
+            "hostile/default/s1",
+            "hostile/none/s0",
+            "hostile/none/s1",
+        ]
+        assert len(matrix) == 8
+
+    def test_job_keys_unique(self):
+        matrix = RunMatrix(
+            name="m", seeds=(0, 1, 2), plans=(None, "none", {"specs": []})
+        )
+        keys = [job.key for job in matrix]
+        assert len(set(keys)) == len(keys)
+
+    def test_params_reach_every_job(self):
+        matrix = RunMatrix(name="m", params={"clients": 3})
+        assert all(
+            job.kwargs == {"clients": 3} for job in matrix.jobs()
+        )
+
+    def test_duplicate_seeds_rejected(self):
+        with pytest.raises(ValueError, match="duplicate seeds"):
+            RunMatrix(name="m", seeds=(1, 1))
+
+    def test_duplicate_plan_labels_rejected(self):
+        with pytest.raises(ValueError, match="duplicate plan labels"):
+            RunMatrix(name="m", plans=(None, "default"))
+
+    def test_empty_scenarios_rejected(self):
+        with pytest.raises(ValueError):
+            RunMatrix(name="m", scenarios=())
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            RunMatrix(name="m", seeds=())
+
+    def test_round_trip(self):
+        matrix = RunMatrix(
+            name="sweep",
+            scenarios=("chaos",),
+            seeds=(0, 3, 5),
+            plans=("default", "none", {"specs": []}),
+            params={"clients": 2},
+        )
+        again = RunMatrix.from_json(matrix.to_json())
+        assert again.to_dict() == matrix.to_dict()
+        assert [job.key for job in again] == [job.key for job in matrix]
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(
+            json.dumps({"name": "filed", "seeds": [1, 2]})
+        )
+        matrix = RunMatrix.load(str(path))
+        assert matrix.name == "filed"
+        assert matrix.seeds == (1, 2)
+
+    def test_from_dict_rejects_missing_name(self):
+        with pytest.raises(ValueError, match="name"):
+            RunMatrix.from_dict({"seeds": [0]})
+
+    def test_from_dict_rejects_non_object(self):
+        with pytest.raises(ValueError):
+            RunMatrix.from_dict([1, 2])
+
+    def test_describe_counts(self):
+        matrix = RunMatrix(name="m", seeds=(0, 1), plans=(None, "none"))
+        assert "2 plan(s) x 2 seed(s) = 4 job(s)" in matrix.describe()
+
+
+class TestSeedsFromText:
+    def test_comma_list(self):
+        assert seeds_from_text("0,1,5") == (0, 1, 5)
+
+    def test_range(self):
+        assert seeds_from_text("0..7") == tuple(range(8))
+
+    def test_single(self):
+        assert seeds_from_text("42") == (42,)
+
+    def test_empty_range_raises(self):
+        with pytest.raises(ValueError):
+            seeds_from_text("5..3")
+
+    def test_garbage_raises(self):
+        with pytest.raises(ValueError):
+            seeds_from_text("zero")
+
+
+_json_values = st.one_of(
+    st.integers(min_value=-(10**6), max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=12),
+    st.booleans(),
+)
+
+
+class TestSpecProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        name=st.text(min_size=1, max_size=16),
+        seeds=st.lists(
+            st.integers(min_value=0, max_value=10**6),
+            min_size=1,
+            max_size=8,
+            unique=True,
+        ),
+        params=st.dictionaries(
+            st.text(min_size=1, max_size=8), _json_values, max_size=4
+        ),
+    )
+    def test_json_round_trip_exact(self, name, seeds, params):
+        matrix = RunMatrix(name=name, seeds=seeds, params=params)
+        again = RunMatrix.from_json(matrix.to_json())
+        assert again.to_dict() == matrix.to_dict()
+        assert len(again) == len(matrix)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        seeds=st.lists(
+            st.integers(min_value=0, max_value=999),
+            min_size=1,
+            max_size=6,
+            unique=True,
+        ),
+        scenario_count=st.integers(min_value=1, max_value=3),
+    )
+    def test_expansion_size_and_uniqueness(self, seeds, scenario_count):
+        scenarios = tuple(f"scenario{i}" for i in range(scenario_count))
+        matrix = RunMatrix(name="m", scenarios=scenarios, seeds=seeds)
+        jobs = matrix.jobs()
+        assert len(jobs) == len(scenarios) * len(seeds)
+        assert len({job.key for job in jobs}) == len(jobs)
+        # Expansion is deterministic: same spec, same order.
+        assert [job.key for job in matrix.jobs()] == [
+            job.key for job in jobs
+        ]
